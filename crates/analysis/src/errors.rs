@@ -1,0 +1,329 @@
+//! The FP64 accuracy study of Table 6: every workload variant's output
+//! compared element-wise against the serial CPU ground truth
+//! (`Average_Error` and `Max_Error`, Section 8). BFS is excluded (no
+//! floating point). TC and CC are verified bit-identical and reported as
+//! one column, exactly as the paper groups them.
+
+use cubie_core::ErrorStats;
+use cubie_kernels::{
+    Variant, Workload, fft, gemm, gemv, pic, reduction, scan, spgemm, spmv, stencil,
+};
+use cubie_sparse::Csr;
+use serde::{Deserialize, Serialize};
+
+/// One Table 6 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorRow {
+    /// The workload.
+    pub workload: Workload,
+    /// The representative case evaluated.
+    pub case_label: String,
+    /// Baseline error (`None` for PiC, which has no baseline).
+    pub baseline: Option<ErrorStats>,
+    /// TC/CC error (verified bit-identical, reported together as in the
+    /// paper).
+    pub tc_cc: ErrorStats,
+    /// CC-E error (`None` in Quadrant I where CC-E ≡ CC).
+    pub cce: Option<ErrorStats>,
+}
+
+/// Case sizing for the error study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorScale {
+    /// Small cases for fast tests.
+    Quick,
+    /// Representative cases (the harness default).
+    Full,
+}
+
+/// Compare two sparse results over the union of their patterns
+/// (absent entries count as zero).
+fn compare_sparse(a: &Csr, b: &Csr) -> ErrorStats {
+    assert_eq!(a.rows, b.rows);
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    let mut n = 0usize;
+    for r in 0..a.rows {
+        let (ac, av) = a.row(r);
+        let (bc, bv) = b.row(r);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ac.len() || j < bc.len() {
+            let d = match (ac.get(i), bc.get(j)) {
+                (Some(&ca), Some(&cb)) if ca == cb => {
+                    let d = (av[i] - bv[j]).abs();
+                    i += 1;
+                    j += 1;
+                    d
+                }
+                (Some(&ca), Some(&cb)) if ca < cb => {
+                    let d = av[i].abs();
+                    i += 1;
+                    d
+                }
+                (Some(_), Some(_)) => {
+                    let d = bv[j].abs();
+                    j += 1;
+                    d
+                }
+                (Some(_), None) => {
+                    let d = av[i].abs();
+                    i += 1;
+                    d
+                }
+                (None, Some(_)) => {
+                    let d = bv[j].abs();
+                    j += 1;
+                    d
+                }
+                (None, None) => unreachable!(),
+            };
+            sum += d;
+            max = max.max(d);
+            n += 1;
+        }
+    }
+    ErrorStats {
+        avg: if n > 0 { sum / n as f64 } else { 0.0 },
+        max,
+        n,
+    }
+}
+
+/// Run the full Table 6 study.
+pub fn table6(scale: ErrorScale) -> Vec<ErrorRow> {
+    let quick = scale == ErrorScale::Quick;
+    let mut rows = Vec::new();
+
+    // GEMV.
+    {
+        let case = if quick {
+            gemv::GemvCase { m: 512, n: 16 }
+        } else {
+            gemv::GemvCase { m: 11_008, n: 16 }
+        };
+        let (a, x) = gemv::inputs(&case);
+        let gold = gemv::reference(&a, &x);
+        let err = |v: Variant| ErrorStats::compare(&gemv::run(&a, &x, v).0, &gold);
+        let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
+        assert_eq!(tc, cc, "GEMV: TC and CC must be bit-identical");
+        rows.push(ErrorRow {
+            workload: Workload::Gemv,
+            case_label: case.label(),
+            baseline: Some(err(Variant::Baseline)),
+            tc_cc: tc,
+            cce: Some(err(Variant::CcE)),
+        });
+    }
+
+    // GEMM.
+    {
+        let case = gemm::GemmCase::square(if quick { 96 } else { 512 });
+        let (a, b) = gemm::inputs(&case);
+        let gold = gemm::reference(&a, &b);
+        let err = |v: Variant| {
+            ErrorStats::compare(gemm::run(&a, &b, v).0.as_slice(), gold.as_slice())
+        };
+        let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
+        assert_eq!(tc, cc);
+        rows.push(ErrorRow {
+            workload: Workload::Gemm,
+            case_label: case.label(),
+            baseline: Some(err(Variant::Baseline)),
+            tc_cc: tc,
+            cce: None,
+        });
+    }
+
+    // SpMV.
+    {
+        let m = cubie_sparse::generators::conf5_like(if quick { 16 } else { 1 });
+        let x = spmv::input_vector(&m);
+        let gold = spmv::reference(&m, &x);
+        let err = |v: Variant| ErrorStats::compare(&spmv::run(&m, &x, v).0, &gold);
+        let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
+        assert_eq!(tc, cc);
+        rows.push(ErrorRow {
+            workload: Workload::Spmv,
+            case_label: format!("conf5-like {}r", m.rows),
+            baseline: Some(err(Variant::Baseline)),
+            tc_cc: tc,
+            cce: Some(err(Variant::CcE)),
+        });
+    }
+
+    // SpGEMM.
+    {
+        let m = cubie_sparse::generators::spmsrts_like(if quick { 32 } else { 1 });
+        let gold = spgemm::reference(&m);
+        let err = |v: Variant| compare_sparse(&spgemm::run(&m, v).0, &gold);
+        let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
+        assert_eq!(tc, cc);
+        rows.push(ErrorRow {
+            workload: Workload::Spgemm,
+            case_label: format!("spmsrts-like {}r", m.rows),
+            baseline: Some(err(Variant::Baseline)),
+            tc_cc: tc,
+            cce: Some(err(Variant::CcE)),
+        });
+    }
+
+    // FFT.
+    {
+        let (h, w, batch) = if quick { (16, 32, 2) } else { (256, 256, 1) };
+        let case = fft::FftCase { h, w, batch };
+        let data = fft::input(&case);
+        let gold: Vec<Vec<cubie_core::C64>> =
+            data.iter().map(|g| fft::dft2_naive(h, w, g)).collect();
+        let err = |v: Variant| {
+            let (out, _) = fft::run(&case, &data, v);
+            out.iter()
+                .zip(&gold)
+                .map(|(o, g)| ErrorStats::compare_c64(o, g))
+                .fold(ErrorStats::default(), |acc, e| acc.merge(e))
+        };
+        let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
+        assert_eq!(tc, cc);
+        rows.push(ErrorRow {
+            workload: Workload::Fft,
+            case_label: case.label(),
+            baseline: Some(err(Variant::Baseline)),
+            tc_cc: tc,
+            cce: None,
+        });
+    }
+
+    // Stencil.
+    {
+        let case = if quick {
+            stencil::StencilCase::star2d(64, 64)
+        } else {
+            stencil::StencilCase::star2d(1024, 1024)
+        };
+        let x = stencil::input(&case);
+        let gold = stencil::reference(&case, &x);
+        let err = |v: Variant| ErrorStats::compare(&stencil::run(&case, &x, v).0, &gold);
+        let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
+        assert_eq!(tc, cc);
+        rows.push(ErrorRow {
+            workload: Workload::Stencil,
+            case_label: case.label(),
+            baseline: Some(err(Variant::Baseline)),
+            tc_cc: tc,
+            cce: None,
+        });
+    }
+
+    // Reduction.
+    {
+        let case = reduction::ReductionCase { n: 1024 };
+        let x = reduction::input(&case);
+        let gold = vec![reduction::reference(&x)];
+        let err = |v: Variant| ErrorStats::compare(&[reduction::run(&x, v).0], &gold);
+        let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
+        assert_eq!(tc, cc);
+        rows.push(ErrorRow {
+            workload: Workload::Reduction,
+            case_label: case.label(),
+            baseline: Some(err(Variant::Baseline)),
+            tc_cc: tc,
+            cce: Some(err(Variant::CcE)),
+        });
+    }
+
+    // Scan.
+    {
+        let case = scan::ScanCase { n: 1024 };
+        let x = scan::input(&case);
+        let gold = scan::reference(&x);
+        let err = |v: Variant| ErrorStats::compare(&scan::run(&x, v).0, &gold);
+        let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
+        assert_eq!(tc, cc);
+        rows.push(ErrorRow {
+            workload: Workload::Scan,
+            case_label: case.label(),
+            baseline: Some(err(Variant::Baseline)),
+            tc_cc: tc,
+            cce: Some(err(Variant::CcE)),
+        });
+    }
+
+    // PiC (no baseline).
+    {
+        let case = pic::PicCase {
+            n: if quick { 1024 } else { 65_536 },
+        };
+        let (parts, grid) = pic::input(&case);
+        let gold = pic::run_serial_style(&parts, &grid);
+        let flat = |p: &pic::Particles| -> Vec<f64> {
+            p.pos
+                .iter()
+                .chain(p.vel.iter())
+                .flat_map(|v| v.iter().copied())
+                .collect()
+        };
+        let gold_flat = flat(&gold);
+        let err = |v: Variant| {
+            ErrorStats::compare(&flat(&pic::run(&case, &parts, &grid, v).0), &gold_flat)
+        };
+        let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
+        assert_eq!(tc, cc);
+        rows.push(ErrorRow {
+            workload: Workload::Pic,
+            case_label: case.label(),
+            baseline: None,
+            tc_cc: tc,
+            cce: None,
+        });
+    }
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_quick_covers_nine_workloads() {
+        let rows = table6(ErrorScale::Quick);
+        // All workloads except BFS (no floating point).
+        assert_eq!(rows.len(), 9);
+        assert!(!rows.iter().any(|r| r.workload == Workload::Bfs));
+    }
+
+    #[test]
+    fn errors_are_small_everywhere() {
+        for row in table6(ErrorScale::Quick) {
+            assert!(
+                row.tc_cc.max < 1e-8,
+                "{:?}: TC max error {}",
+                row.workload,
+                row.tc_cc.max
+            );
+            if let Some(b) = row.baseline {
+                assert!(b.max < 1e-8, "{:?}: baseline max error {}", row.workload, b.max);
+            }
+        }
+    }
+
+    #[test]
+    fn pic_has_no_baseline_row() {
+        let rows = table6(ErrorScale::Quick);
+        let pic = rows.iter().find(|r| r.workload == Workload::Pic).unwrap();
+        assert!(pic.baseline.is_none());
+    }
+
+    #[test]
+    fn compare_sparse_handles_pattern_mismatch() {
+        use cubie_sparse::Coo;
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 1.0);
+        a.push(1, 1, 2.0);
+        let mut b = Coo::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 0.5);
+        let e = compare_sparse(&Csr::from_coo(a), &Csr::from_coo(b));
+        assert_eq!(e.n, 3);
+        assert_eq!(e.max, 2.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the analysis machinery (PCA invariants).
+
+use cubie_analysis::Pca;
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..6, 3usize..60).prop_flat_map(|(d, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-100.0..100.0f64, d),
+            n.max(d + 1),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Components are orthonormal for any data.
+    #[test]
+    fn components_orthonormal(s in samples()) {
+        let pca = Pca::fit(&s);
+        let d = pca.components.len();
+        for i in 0..d {
+            for j in 0..d {
+                let dot: f64 = pca.components[i]
+                    .iter()
+                    .zip(&pca.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((dot - expect).abs() < 1e-8, "({i},{j}): {dot}");
+            }
+        }
+    }
+
+    /// Eigenvalues descend, are non-negative (up to numerics) and sum to
+    /// the standardized trace (= dimension, when no feature is constant).
+    #[test]
+    fn eigenvalue_structure(s in samples()) {
+        let pca = Pca::fit(&s);
+        for w in pca.eigenvalues.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        for &v in &pca.eigenvalues {
+            prop_assert!(v > -1e-9, "negative eigenvalue {v}");
+        }
+        let d = pca.components.len() as f64;
+        let sum: f64 = pca.eigenvalues.iter().sum();
+        prop_assert!(sum <= d + 1e-6, "trace {sum} exceeds dimension {d}");
+    }
+
+    /// Explained variance is monotone in k and reaches 1 at full rank.
+    #[test]
+    fn explained_variance_monotone(s in samples()) {
+        let pca = Pca::fit(&s);
+        let d = pca.components.len();
+        let mut last = 0.0;
+        for k in 1..=d {
+            let e = pca.explained_variance(k);
+            prop_assert!(e >= last - 1e-12);
+            last = e;
+        }
+        prop_assert!((pca.explained_variance(d) - 1.0).abs() < 1e-9);
+    }
+
+    /// Projections are invariant under feature-wise affine rescaling
+    /// (standardization removes units) — up to component sign.
+    #[test]
+    fn projection_scale_invariant(s in samples(), scale in 0.5..100.0f64, shift in -50.0..50.0f64) {
+        let rescaled: Vec<Vec<f64>> = s
+            .iter()
+            .map(|row| row.iter().map(|v| v * scale + shift).collect())
+            .collect();
+        let a = Pca::fit(&s);
+        let b = Pca::fit(&rescaled);
+        // Compare |projection| distances between first two samples.
+        let pa: Vec<f64> = a.project(&s[0], 2).iter().zip(a.project(&s[1], 2)).map(|(x, y)| (x - y).abs()).collect();
+        let pb: Vec<f64> = b.project(&rescaled[0], 2).iter().zip(b.project(&rescaled[1], 2)).map(|(x, y)| (x - y).abs()).collect();
+        for (x, y) in pa.iter().zip(&pb) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+}

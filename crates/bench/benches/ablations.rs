@@ -1,0 +1,158 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! coalescing classes, constant-operand reuse, split-K, and occupancy.
+//! Each ablation reports the *simulated* time difference by benchmarking
+//! the model evaluation of the ablated trace (printed once per run).
+
+use std::time::Duration;
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use cubie_core::OpCounters;
+use cubie_core::counters::MemTraffic;
+use cubie_device::h200;
+use cubie_kernels::{Variant, scan};
+use cubie_sim::{KernelTrace, time_kernel};
+
+fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g
+}
+
+/// Ablation 1 — coalescing classes: the same byte volume at the three
+/// access regularities (Observation 8's lever).
+fn ablate_coalescing(c: &mut Criterion) {
+    let d = h200();
+    let make = |traffic: MemTraffic| {
+        KernelTrace::new(
+            "coalescing",
+            1 << 16,
+            256,
+            0,
+            OpCounters {
+                gmem_load: traffic,
+                ..Default::default()
+            },
+            0.0,
+        )
+    };
+    let bytes = 1u64 << 34;
+    let cases = [
+        ("coalesced", make(MemTraffic::coalesced(bytes))),
+        ("strided", make(MemTraffic::strided(bytes))),
+        ("random", make(MemTraffic::random(bytes))),
+    ];
+    println!("\n# Ablation: coalescing classes (16 GiB on H200)");
+    for (name, t) in &cases {
+        println!("  {name:9}: {:.3e} s", time_kernel(&d, t).exec_s);
+    }
+    let mut g = quick(c, "ablation_coalescing");
+    for (name, t) in cases {
+        g.bench_function(name, |bench| {
+            bench.iter(|| std::hint::black_box(time_kernel(&d, &t)))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 2 — constant operands: the Quadrant II scan with its
+/// constant matrices resident vs a hypothetical variant that loads them
+/// from global memory per tile.
+fn ablate_constant_operands(c: &mut Criterion) {
+    let d = h200();
+    let resident = scan::trace(&scan::ScanCase { n: 1024 }, Variant::Tc);
+    let mut loaded = resident.clone();
+    for k in loaded.kernels.iter_mut() {
+        // 3 constant 8×8 matrices per tile, re-loaded per logical MMA.
+        let tiles = k.ops.mma_f64 / 6;
+        k.ops.gmem_load += MemTraffic::coalesced(tiles * 3 * 64 * 8);
+        k.critical_cycles += cubie_sim::latency::GMEM_RT;
+    }
+    println!("\n# Ablation: constant operand residency (scan n=1024, H200)");
+    println!(
+        "  constant-resident: {:.3e} s",
+        time_kernel(&d, &resident.kernels[0]).time_s
+    );
+    println!(
+        "  loaded-per-tile:   {:.3e} s",
+        time_kernel(&d, &loaded.kernels[0]).time_s
+    );
+    let mut g = quick(c, "ablation_constant_operands");
+    g.bench_function("resident", |bench| {
+        bench.iter(|| std::hint::black_box(time_kernel(&d, &resident.kernels[0])))
+    });
+    g.bench_function("loaded", |bench| {
+        bench.iter(|| std::hint::black_box(time_kernel(&d, &loaded.kernels[0])))
+    });
+    g.finish();
+}
+
+/// Ablation 3 — occupancy: the same work spread over fewer, fatter
+/// blocks (the GEMV/SpMV granularity lever).
+fn ablate_occupancy(c: &mut Criterion) {
+    let d = h200();
+    // Few enough warps that granularity decides how many SMs get work.
+    let total_warps = 1u64 << 11;
+    let ops = OpCounters {
+        mma_f64: 1 << 22,
+        gmem_load: MemTraffic::coalesced(1 << 30),
+        ..Default::default()
+    };
+    println!("\n# Ablation: block granularity (same work, H200)");
+    let mut g = quick(c, "ablation_occupancy");
+    for warps_per_block in [1u32, 4, 8, 32] {
+        let blocks = total_warps / warps_per_block as u64;
+        let t = KernelTrace::new(
+            "occ",
+            blocks,
+            warps_per_block * 32,
+            0,
+            ops,
+            0.0,
+        );
+        println!(
+            "  {warps_per_block:2} warps/block ({blocks:5} blocks): {:.3e} s",
+            time_kernel(&d, &t).exec_s
+        );
+        g.bench_function(format!("warps_per_block_{warps_per_block}"), |bench| {
+            bench.iter(|| std::hint::black_box(time_kernel(&d, &t)))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 4 — split-K: small-grid GEMM with and without the k split.
+fn ablate_split_k(c: &mut Criterion) {
+    use cubie_kernels::gemm::{GemmCase, split_k_for};
+    let d = h200();
+    let case = GemmCase::square(256);
+    let (split, chunk) = split_k_for(&case);
+    let with = cubie_kernels::gemm::trace(&case, Variant::Tc);
+    let t_with: f64 = with
+        .kernels
+        .iter()
+        .map(|k| time_kernel(&d, k).time_s)
+        .sum();
+    println!("\n# Ablation: split-K on 256³ GEMM (H200)");
+    println!("  split-K {split} (chunk {chunk}): {t_with:.3e} s total");
+    let mut g = quick(c, "ablation_split_k");
+    g.bench_function("with_split_k", |bench| {
+        bench.iter(|| {
+            with.kernels
+                .iter()
+                .map(|k| time_kernel(&d, k).time_s)
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_coalescing,
+    ablate_constant_operands,
+    ablate_occupancy,
+    ablate_split_k
+);
+criterion_main!(benches);

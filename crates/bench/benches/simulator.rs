@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the timing/power simulator itself — the cost
+//! of regenerating the paper's figures from traces.
+
+use std::time::Duration;
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use cubie_core::OpCounters;
+use cubie_core::counters::MemTraffic;
+use cubie_device::h200;
+use cubie_kernels::{Variant, gemm};
+use cubie_sim::{KernelTrace, WorkloadTrace, power_report, power_trace, time_kernel, time_workload};
+
+fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(50)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let d = h200();
+    let k = KernelTrace::new(
+        "k",
+        1 << 16,
+        256,
+        8192,
+        OpCounters {
+            mma_f64: 1 << 28,
+            fma_f64: 1 << 20,
+            gmem_load: MemTraffic::coalesced(1 << 32),
+            smem_bytes: 1 << 30,
+            ..Default::default()
+        },
+        100.0,
+    );
+    let mut g = quick(c, "simulator");
+    g.bench_function("time_kernel", |bench| {
+        bench.iter(|| std::hint::black_box(time_kernel(&d, std::hint::black_box(&k))))
+    });
+    let w = WorkloadTrace {
+        kernels: vec![k.clone(); 32],
+    };
+    g.bench_function("time_workload_32_launches", |bench| {
+        bench.iter(|| std::hint::black_box(time_workload(&d, &w)))
+    });
+    let t = time_workload(&d, &w);
+    g.bench_function("power_report", |bench| {
+        bench.iter(|| std::hint::black_box(power_report(&d, &t, 100)))
+    });
+    g.bench_function("power_trace_1000_samples", |bench| {
+        bench.iter(|| std::hint::black_box(power_trace(&d, &t, 10, t.total_s / 100.0)))
+    });
+    g.finish();
+}
+
+fn bench_trace_building(c: &mut Criterion) {
+    let mut g = quick(c, "trace_building");
+    g.bench_function("gemm_trace_4096", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(gemm::trace(
+                &gemm::GemmCase::square(4096),
+                Variant::Tc,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_trace_building);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Extension experiment: validate the MMU-suitability advisor (the
+//! paper's Section 4 future-work direction) against the measured
+//! variants — for every workload, compare the speedup predicted from the
+//! CUDA-core trace + mapping description with the actually simulated
+//! TC-vs-CC-E (or CC) ratio.
+
+use cubie_analysis::advisor::{advise, reference_mapping};
+use cubie_analysis::report;
+use cubie_bench::{graph_scale, sparse_scale};
+use cubie_device::h200;
+use cubie_kernels::{Variant, Workload, prepare_cases};
+use cubie_sim::time_workload;
+
+fn main() {
+    let dev = h200();
+    println!("# Extension — advisor validation on {}\n", dev.name);
+    let mut rows = Vec::new();
+    let mut within_2x = 0;
+    let mut total = 0;
+    for w in Workload::ALL {
+        let cases = prepare_cases(w, sparse_scale(), graph_scale());
+        let case = &cases[2];
+        let cc_variant = if w.spec().distinct_cce {
+            Variant::CcE
+        } else {
+            Variant::Cc
+        };
+        let Some(cc_trace) = case.trace(cc_variant) else {
+            continue;
+        };
+        let Some(tc_trace) = case.trace(Variant::Tc) else {
+            continue;
+        };
+        let a = advise(&dev, &cc_trace, &reference_mapping(w));
+        let actual = time_workload(&dev, &cc_trace).total_s
+            / time_workload(&dev, &tc_trace).total_s;
+        let ratio = a.predicted_speedup / actual;
+        total += 1;
+        if (0.5..2.0).contains(&ratio) {
+            within_2x += 1;
+        }
+        rows.push(vec![
+            w.spec().name.to_string(),
+            cc_variant.label().to_string(),
+            format!("{:.2}x", a.predicted_speedup),
+            format!("{actual:.2}x"),
+            format!("{ratio:.2}"),
+            format!("{:?}", a.recommendation),
+        ]);
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &["workload", "from", "predicted", "actual", "pred/actual", "verdict"],
+            &rows
+        )
+    );
+    println!("{within_2x}/{total} predictions within 2× of the measured ratio.");
+}

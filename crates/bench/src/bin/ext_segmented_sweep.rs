@@ -1,0 +1,47 @@
+//! Extension experiment: the Dakkak-style *segmented* scan/reduction
+//! sweep — the throughput regime complementing the paper's single-block
+//! Quadrant II/III cases. With ~16M elements in flight the kernels are
+//! DRAM-bound and the variants converge, which is exactly why the paper
+//! evaluates the latency regime to differentiate the compute units; this
+//! binary makes that contrast measurable.
+
+use cubie_analysis::report;
+use cubie_bench::devices;
+use cubie_kernels::segmented::{SegmentedCase, trace_reduce, trace_scan};
+use cubie_kernels::{Variant, Workload};
+use cubie_sim::time_workload;
+
+fn main() {
+    let devs = devices();
+    for (name, which) in [("segmented scan", Workload::Scan), ("segmented reduction", Workload::Reduction)] {
+        println!("# Extension — {name} throughput sweep (16M elements)\n");
+        for dev in &devs {
+            let mut rows = Vec::new();
+            for case in SegmentedCase::sweep() {
+                let mut row = vec![case.label()];
+                for v in Variant::ALL {
+                    let t = match which {
+                        Workload::Scan => trace_scan(&case, v),
+                        _ => trace_reduce(&case, v),
+                    };
+                    let timing = time_workload(dev, &t);
+                    let gelems = case.total() as f64 / timing.total_s / 1e9;
+                    row.push(format!("{gelems:.1}"));
+                }
+                rows.push(row);
+            }
+            println!("## {} (Gelem/s)\n", dev.name);
+            println!(
+                "{}",
+                report::markdown_table(
+                    &["case", "Baseline", "TC", "CC", "CC-E"],
+                    &rows
+                )
+            );
+        }
+    }
+    println!(
+        "In the throughput regime every variant rides the DRAM roof — the paper's \
+         single-block cases (Figures 3–6) are where the MMU's latency advantage shows."
+    );
+}

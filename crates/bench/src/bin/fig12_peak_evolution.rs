@@ -1,0 +1,60 @@
+//! Figure 12: peak FP16/FP64 throughput of CUDA cores and tensor cores
+//! across Ampere, Hopper and Blackwell — the FP64 tensor-core regression
+//! the paper's conclusion highlights.
+
+use cubie_analysis::report;
+use cubie_device::PEAK_EVOLUTION;
+
+fn main() {
+    println!("# Figure 12 — peak throughput evolution (TFLOP/s)\n");
+    let rows: Vec<Vec<String>> = PEAK_EVOLUTION
+        .iter()
+        .map(|g| {
+            vec![
+                g.arch.to_string(),
+                format!("{:.1}", g.fp16_tc),
+                format!("{:.1}", g.fp16_cc),
+                format!("{:.1}", g.fp64_tc),
+                format!("{:.1}", g.fp64_cc),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["arch", "FP16 tensor", "FP16 CUDA", "FP64 tensor", "FP64 CUDA"],
+            &rows
+        )
+    );
+    let hopper = &PEAK_EVOLUTION[1];
+    let blackwell = &PEAK_EVOLUTION[2];
+    println!(
+        "FP16 tensor-core peak scales {:.1}× from Ampere to Blackwell, while the FP64 \
+         tensor-core peak FALLS from {:.0} to {:.0} TFLOP/s ({}% of Hopper) — the divergence \
+         the paper calls \"a step backward for HPC capability\".",
+        blackwell.fp16_tc / PEAK_EVOLUTION[0].fp16_tc,
+        hopper.fp64_tc,
+        blackwell.fp64_tc,
+        (100.0 * blackwell.fp64_tc / hopper.fp64_tc) as i64
+    );
+    let rows_csv: Vec<Vec<String>> = PEAK_EVOLUTION
+        .iter()
+        .map(|g| {
+            vec![
+                g.arch.to_string(),
+                g.fp16_tc.to_string(),
+                g.fp16_cc.to_string(),
+                g.fp64_tc.to_string(),
+                g.fp64_cc.to_string(),
+            ]
+        })
+        .collect();
+    let path = report::results_dir().join("fig12_peak_evolution.csv");
+    report::write_csv(
+        &path,
+        &["arch", "fp16_tc", "fp16_cc", "fp64_tc", "fp64_cc"],
+        &rows_csv,
+    )
+    .unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,53 @@
+//! Figure 3: absolute performance of all workloads and variants across
+//! the five test cases on A100, H200 and B200.
+
+use cubie_analysis::report;
+use cubie_bench::{WorkloadSweep, devices};
+use cubie_kernels::Workload;
+
+fn main() {
+    let devs = devices();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for w in Workload::ALL {
+        let sweep = WorkloadSweep::prepare(w);
+        let spec = w.spec();
+        println!("\n## {} ({})\n", spec.name, spec.perf_unit);
+        for dev in &devs {
+            let cells = sweep.cells(dev);
+            let mut rows = Vec::new();
+            for label in &sweep.labels {
+                let mut row = vec![label.clone()];
+                for v in w.variants() {
+                    let c = cells
+                        .iter()
+                        .find(|c| &c.case == label && c.variant == v)
+                        .unwrap();
+                    row.push(format!("{:.2}", c.gthroughput));
+                    csv_rows.push(vec![
+                        spec.name.to_string(),
+                        dev.name.clone(),
+                        label.clone(),
+                        v.label().to_string(),
+                        format!("{:.6e}", c.time_s),
+                        format!("{:.4}", c.gthroughput),
+                    ]);
+                }
+                rows.push(row);
+            }
+            let mut headers = vec!["case"];
+            let labels: Vec<String> =
+                w.variants().iter().map(|v| v.label().to_string()).collect();
+            headers.extend(labels.iter().map(|s| s.as_str()));
+            println!("### {}\n", dev.name);
+            println!("{}", report::markdown_table(&headers, &rows));
+        }
+    }
+    let path = report::results_dir().join("fig3_performance.csv");
+    report::write_csv(
+        &path,
+        &["workload", "device", "case", "variant", "time_s", "gthroughput"],
+        &csv_rows,
+    )
+    .expect("write csv");
+    println!("\nwrote {}", path.display());
+}

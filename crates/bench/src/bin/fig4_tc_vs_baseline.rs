@@ -1,0 +1,42 @@
+//! Figure 4: speedups of the TC implementations over their baselines on
+//! the three GPUs, grouped by utilization quadrant.
+
+use cubie_analysis::report;
+use cubie_bench::{WorkloadSweep, devices};
+use cubie_kernels::{Variant, Workload};
+
+fn main() {
+    let devs = devices();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for w in Workload::ALL {
+        if w.spec().baseline.is_none() {
+            continue; // PiC has no baseline.
+        }
+        let sweep = WorkloadSweep::prepare(w);
+        let mut row = vec![
+            format!("Q{}", w.spec().quadrant),
+            w.spec().name.to_string(),
+        ];
+        for dev in &devs {
+            let s = sweep
+                .geomean_speedup(dev, Variant::Tc, Variant::Baseline)
+                .unwrap();
+            row.push(format!("{s:.2}x"));
+            csv_rows.push(vec![
+                w.spec().name.to_string(),
+                dev.name.clone(),
+                format!("{s:.4}"),
+            ]);
+        }
+        rows.push(row);
+    }
+    println!("# Figure 4 — TC speedup over baseline (geomean of 5 cases)\n");
+    println!(
+        "{}",
+        report::markdown_table(&["quadrant", "workload", "A100", "H200", "B200"], &rows)
+    );
+    let path = report::results_dir().join("fig4_tc_vs_baseline.csv");
+    report::write_csv(&path, &["workload", "device", "speedup"], &csv_rows).unwrap();
+    println!("wrote {}", path.display());
+}

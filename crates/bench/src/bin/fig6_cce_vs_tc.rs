@@ -1,0 +1,40 @@
+//! Figure 6: speedups of the essential-only CUDA-core replacements
+//! (CC-E) over TC for Quadrants II–IV (CC-E ≡ CC in Quadrant I).
+
+use cubie_analysis::report;
+use cubie_bench::{WorkloadSweep, devices};
+use cubie_kernels::{Variant, Workload};
+
+fn main() {
+    let devs = devices();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for w in Workload::ALL {
+        if !w.spec().distinct_cce {
+            continue;
+        }
+        let sweep = WorkloadSweep::prepare(w);
+        let mut row = vec![
+            format!("Q{}", w.spec().quadrant),
+            w.spec().name.to_string(),
+        ];
+        for dev in &devs {
+            let s = sweep.geomean_speedup(dev, Variant::CcE, Variant::Tc).unwrap();
+            row.push(format!("{s:.2}x"));
+            csv_rows.push(vec![
+                w.spec().name.to_string(),
+                dev.name.clone(),
+                format!("{s:.4}"),
+            ]);
+        }
+        rows.push(row);
+    }
+    println!("# Figure 6 — CC-E speedup over TC, Quadrants II–IV (geomean of 5 cases)\n");
+    println!(
+        "{}",
+        report::markdown_table(&["quadrant", "workload", "A100", "H200", "B200"], &rows)
+    );
+    let path = report::results_dir().join("fig6_cce_vs_tc.csv");
+    report::write_csv(&path, &["workload", "device", "speedup"], &csv_rows).unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,100 @@
+//! Figure 7: energy-delay product of all workloads and variants on H200,
+//! one representative test case per workload executed in a loop (the
+//! paper's per-workload repeat counts), with per-quadrant geomeans.
+
+use cubie_analysis::report;
+use cubie_bench::{WorkloadSweep, fig7_repeats};
+use cubie_device::h200;
+use cubie_kernels::{Quadrant, Variant, Workload};
+use cubie_sim::{power_report, time_workload};
+
+fn main() {
+    let dev = h200();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    // edp[(quadrant, variant)] values for geomeans.
+    let mut per_quadrant: Vec<(Quadrant, Variant, f64)> = Vec::new();
+
+    for w in Workload::ALL {
+        let sweep = WorkloadSweep::prepare(w);
+        let spec = w.spec();
+        let rep = 2usize; // middle case as the representative
+        let repeats = fig7_repeats(w);
+        let mut row = vec![
+            format!("Q{}", spec.quadrant),
+            spec.name.to_string(),
+            sweep.labels[rep].clone(),
+            format!("{repeats}"),
+        ];
+        for v in [Variant::Baseline, Variant::Tc, Variant::Cc, Variant::CcE] {
+            let variants = w.variants();
+            let Some(vi) = variants.iter().position(|x| *x == v) else {
+                row.push("-".to_string());
+                continue;
+            };
+            let timing = time_workload(&dev, &sweep.traces[rep][vi]);
+            let r = power_report(&dev, &timing, repeats);
+            row.push(format!("{:.3e}", r.edp));
+            per_quadrant.push((spec.quadrant, v, r.edp));
+            csv_rows.push(vec![
+                spec.name.to_string(),
+                v.label().to_string(),
+                format!("{:.4}", r.avg_power_w),
+                format!("{:.6e}", r.time_s),
+                format!("{:.6e}", r.energy_j),
+                format!("{:.6e}", r.edp),
+            ]);
+        }
+        rows.push(row);
+    }
+    println!("# Figure 7 — EDP (J·s) on H200, representative case × paper repeat counts\n");
+    println!(
+        "{}",
+        report::markdown_table(
+            &["quadrant", "workload", "case", "repeats", "Baseline", "TC", "CC", "CC-E"],
+            &rows
+        )
+    );
+
+    // Per-quadrant geomeans (TC vs baseline reduction, Observation 6).
+    println!("## Per-quadrant geomean EDP\n");
+    let mut geo_rows = Vec::new();
+    for q in [Quadrant::I, Quadrant::II, Quadrant::III, Quadrant::IV] {
+        let collect = |v: Variant| -> Vec<f64> {
+            per_quadrant
+                .iter()
+                .filter(|(qq, vv, _)| *qq == q && *vv == v)
+                .map(|(_, _, e)| *e)
+                .collect()
+        };
+        let tc = collect(Variant::Tc);
+        let base = collect(Variant::Baseline);
+        let gm_tc = report::geomean(&tc);
+        let mut row = vec![format!("Q{q}"), format!("{gm_tc:.3e}")];
+        if base.is_empty() {
+            row.push("-".to_string());
+            row.push("-".to_string());
+        } else {
+            let gm_b = report::geomean(&base);
+            row.push(format!("{gm_b:.3e}"));
+            row.push(format!("{:.0}%", (1.0 - gm_tc / gm_b) * 100.0));
+        }
+        geo_rows.push(row);
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &["quadrant", "TC geomean", "baseline geomean", "TC EDP reduction"],
+            &geo_rows
+        )
+    );
+
+    let path = report::results_dir().join("fig7_edp.csv");
+    report::write_csv(
+        &path,
+        &["workload", "variant", "avg_power_w", "time_s", "energy_j", "edp"],
+        &csv_rows,
+    )
+    .unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,52 @@
+//! Figure 8: power consumption over time of all workloads and variants
+//! on H200 (kernel loop, EMA-smoothed readings). Prints per-variant
+//! plateau power and writes the full traces to CSV.
+
+use cubie_analysis::report;
+use cubie_bench::{WorkloadSweep, fig7_repeats};
+use cubie_device::h200;
+use cubie_kernels::Workload;
+use cubie_sim::{power_trace, time_workload};
+
+fn main() {
+    let dev = h200();
+    let mut csv_rows = Vec::new();
+    let mut rows = Vec::new();
+    for w in Workload::ALL {
+        let sweep = WorkloadSweep::prepare(w);
+        let spec = w.spec();
+        let rep = 2usize;
+        let repeats = fig7_repeats(w);
+        let mut row = vec![spec.name.to_string()];
+        for (vi, v) in w.variants().iter().enumerate() {
+            let timing = time_workload(&dev, &sweep.traces[rep][vi]);
+            // Sample so each trace has ~200 points.
+            let total = timing.total_s * repeats as f64 + 1.0;
+            let dt = total / 200.0;
+            let trace = power_trace(&dev, &timing, repeats, dt);
+            let peak = trace.iter().map(|s| s.power_w).fold(0.0f64, f64::max);
+            row.push(format!("{peak:.0} W"));
+            for s in &trace {
+                csv_rows.push(vec![
+                    spec.name.to_string(),
+                    v.label().to_string(),
+                    format!("{:.4}", s.t_s),
+                    format!("{:.2}", s.power_w),
+                ]);
+            }
+        }
+        while row.len() < 5 {
+            row.push("-".to_string());
+        }
+        rows.push(row);
+    }
+    println!("# Figure 8 — plateau power on H200 (variant order per workload: {})\n",
+        "Baseline?, TC, CC, CC-E?");
+    println!(
+        "{}",
+        report::markdown_table(&["workload", "v1", "v2", "v3", "v4"], &rows)
+    );
+    let path = report::results_dir().join("fig8_power_traces.csv");
+    report::write_csv(&path, &["workload", "variant", "t_s", "power_w"], &csv_rows).unwrap();
+    println!("wrote {}", path.display());
+}

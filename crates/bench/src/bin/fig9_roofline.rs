@@ -1,0 +1,63 @@
+//! Figure 9: the cache-aware roofline model on H200 — DRAM and L1
+//! bandwidth ceilings, CUDA-core and tensor-core FP64 compute ceilings,
+//! and the placement of every workload variant (BFS excluded: bitwise).
+
+use cubie_analysis::report;
+use cubie_bench::WorkloadSweep;
+use cubie_device::h200;
+use cubie_kernels::Workload;
+use cubie_sim::{Roofline, time_workload};
+
+fn main() {
+    let dev = h200();
+    let roof = Roofline::of(&dev);
+    println!("# Figure 9 — cache-aware roofline, {}\n", dev.name);
+    println!("- DRAM bandwidth ceiling: {:.0} GB/s", roof.dram_bw_gbs);
+    println!("- L1 bandwidth ceiling:   {:.0} GB/s", roof.l1_bw_gbs);
+    println!("- CUDA-core FP64 peak:    {:.0} GFLOP/s", roof.cc_peak_gflops);
+    println!("- Tensor-core FP64 peak:  {:.0} GFLOP/s", roof.tc_peak_gflops);
+    println!("- Ridge point:            {:.2} FLOP/byte\n", roof.ridge_ai());
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for w in Workload::ALL {
+        if w == Workload::Bfs {
+            continue; // bit operations: no FP64 placement (as the paper).
+        }
+        let sweep = WorkloadSweep::prepare(w);
+        let rep = 2usize;
+        for (vi, v) in w.variants().iter().enumerate() {
+            let timing = time_workload(&dev, &sweep.traces[rep][vi]);
+            let name = format!("{}-{}", w.spec().name, v.label());
+            if let Some(p) = roof.place(&name, &timing) {
+                let bound = roof.dram_bound(p.ai);
+                rows.push(vec![
+                    name.clone(),
+                    format!("{:.3}", p.ai),
+                    format!("{:.1}", p.gflops),
+                    format!("{:.1}", bound),
+                    if p.gflops > bound {
+                        "above DRAM roof (cache-resident)".to_string()
+                    } else {
+                        format!("{:.0}% of roof", 100.0 * p.gflops / bound)
+                    },
+                ]);
+                csv_rows.push(vec![
+                    name,
+                    format!("{:.5}", p.ai),
+                    format!("{:.3}", p.gflops),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &["kernel", "AI (FLOP/B)", "GFLOP/s", "DRAM-roof bound", "position"],
+            &rows
+        )
+    );
+    let path = report::results_dir().join("fig9_roofline.csv");
+    report::write_csv(&path, &["kernel", "ai", "gflops"], &csv_rows).unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,170 @@
+//! The paper's nine key observations (O1–O9), each restated with the
+//! evidence this reproduction measures for it.
+
+use cubie_analysis::coverage::suite_diversity_study;
+use cubie_analysis::errors::{ErrorScale, table6};
+use cubie_analysis::quadrants::utilizations;
+use cubie_analysis::report;
+use cubie_bench::{WorkloadSweep, devices, fig7_repeats, graph_scale, sparse_scale};
+use cubie_kernels::{Quadrant, Variant, Workload};
+use cubie_sim::{power_report, time_workload};
+
+fn main() {
+    let devs = devices();
+    let h200 = devs[1].clone();
+
+    println!("# The nine key observations, measured\n");
+
+    // O1 — data-structure / algorithm transformation.
+    println!("## O1 — non-GEMM kernels must reorganize data and algorithms for MMUs");
+    println!(
+        "Every Quadrant II–IV kernel in this suite ships a dedicated MMU format: \
+         Scan/Reduction pack 8×8 tiles against constant operands, SpMV builds DASP \
+         bundles, SpGEMM re-tiles into mBSR, BFS re-encodes adjacency as 8×128 bitmap \
+         slices, GEMV broadcasts x into a replicated operand.\n"
+    );
+
+    // O2 — quadrants.
+    println!("## O2 — four utilization quadrants");
+    let rows: Vec<Vec<String>> = utilizations()
+        .iter()
+        .map(|u| {
+            vec![
+                u.workload.spec().name.to_string(),
+                format!("Q{}", u.workload.spec().quadrant),
+                format!("{:.0}%", 100.0 * u.input),
+                format!("{:.1}%", 100.0 * u.output),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(&["workload", "quadrant", "input util", "output util"], &rows)
+    );
+
+    // O3 — TC vs baseline, portable.
+    println!("## O3 — TC beats baselines portably (except FFT)");
+    let mut wins = 0;
+    let mut total = 0;
+    for w in Workload::ALL {
+        if w.spec().baseline.is_none() {
+            continue;
+        }
+        let sweep = WorkloadSweep::prepare(w);
+        for dev in &devs {
+            let s = sweep
+                .geomean_speedup(dev, Variant::Tc, Variant::Baseline)
+                .unwrap();
+            total += 1;
+            if s > 1.0 {
+                wins += 1;
+            }
+            println!("  {:9} on {:12}: {s:.2}x", w.spec().name, dev.arch.to_string());
+        }
+    }
+    println!("TC wins {wins}/{total} (workload, device) pairs.\n");
+
+    // O4 — CC vs TC.
+    println!("## O4 — isolating the unit: CC retains 10–90% of TC");
+    for w in Workload::ALL {
+        let sweep = WorkloadSweep::prepare(w);
+        let s: Vec<String> = devs
+            .iter()
+            .map(|d| {
+                format!(
+                    "{:.2}",
+                    sweep.geomean_speedup(d, Variant::Cc, Variant::Tc).unwrap()
+                )
+            })
+            .collect();
+        println!("  {:9}: CC/TC = {} (A100/H200/B200)", w.spec().name, s.join(" / "));
+    }
+    println!();
+
+    // O5 — CC-E.
+    println!("## O5 — MMU redundancy is worth keeping, except for SpMV");
+    for w in Workload::ALL.iter().filter(|w| w.spec().distinct_cce) {
+        let sweep = WorkloadSweep::prepare(*w);
+        let s = sweep
+            .geomean_speedup(&h200, Variant::CcE, Variant::Tc)
+            .unwrap();
+        println!("  {:9}: CC-E/TC on H200 = {s:.2}", w.spec().name);
+    }
+    println!();
+
+    // O6 — EDP.
+    println!("## O6 — MMUs cut EDP 30–80% per quadrant (H200)");
+    for q in [Quadrant::I, Quadrant::II, Quadrant::III, Quadrant::IV] {
+        let mut tc = Vec::new();
+        let mut base = Vec::new();
+        for w in Workload::ALL.iter().filter(|w| w.spec().quadrant == q) {
+            let sweep = WorkloadSweep::prepare(*w);
+            let variants = w.variants();
+            let repeats = fig7_repeats(*w);
+            if let Some(vi) = variants.iter().position(|v| *v == Variant::Tc) {
+                let t = time_workload(&h200, &sweep.traces[2][vi]);
+                tc.push(power_report(&h200, &t, repeats).edp);
+            }
+            if let Some(vi) = variants.iter().position(|v| *v == Variant::Baseline) {
+                let t = time_workload(&h200, &sweep.traces[2][vi]);
+                base.push(power_report(&h200, &t, repeats).edp);
+            }
+        }
+        if !base.is_empty() {
+            let cut = 1.0 - report::geomean(&tc) / report::geomean(&base);
+            println!("  Q{q}: geomean EDP reduction {:.0}%", 100.0 * cut);
+        }
+    }
+    println!();
+
+    // O7 — numerics.
+    println!("## O7 — TC == CC numerically; transformations move the error");
+    let rows = table6(ErrorScale::Quick);
+    for r in &rows {
+        println!(
+            "  {:9}: TC=CC avg {}, baseline {}",
+            r.workload.spec().name,
+            report::sci(r.tc_cc.avg),
+            r.baseline
+                .map(|b| report::sci(b.avg))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    println!("  (bit-identity of TC and CC is asserted during the run.)\n");
+
+    // O8 — memory regularization.
+    println!("## O8 — MMU layouts regularize memory access");
+    for w in [Workload::Spmv, Workload::Gemv, Workload::Stencil] {
+        let sweep = WorkloadSweep::prepare(w);
+        let variants = w.variants();
+        let tc_i = variants.iter().position(|v| *v == Variant::Tc).unwrap();
+        let b_i = variants
+            .iter()
+            .position(|v| *v == Variant::Baseline)
+            .unwrap();
+        let tco = sweep.traces[2][tc_i].total_ops();
+        let bo = sweep.traces[2][b_i].total_ops();
+        let frac = |l: cubie_core::MemTraffic, s: cubie_core::MemTraffic| {
+            let t = l.total() + s.total();
+            if t == 0 {
+                1.0
+            } else {
+                (l.coalesced + s.coalesced) as f64 / t as f64
+            }
+        };
+        println!(
+            "  {:9}: coalesced fraction TC {:.0}% vs baseline {:.0}%",
+            w.spec().name,
+            100.0 * frac(tco.gmem_load, tco.gmem_store),
+            100.0 * frac(bo.gmem_load, bo.gmem_store)
+        );
+    }
+    println!();
+
+    // O9 — diversity.
+    println!("## O9 — Cubie spans wider behaviour than Rodinia/SHOC");
+    let study = suite_diversity_study(&h200, sparse_scale().max(8), graph_scale().max(64));
+    for (suite, spread) in &study.spread {
+        println!("  {suite:8}: PCA spread {spread:.3}");
+    }
+}

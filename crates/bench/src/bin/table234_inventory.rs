@@ -1,0 +1,84 @@
+//! Tables 2, 3 and 4: the workload inventory, the BFS graphs and the
+//! SpMV/SpGEMM matrices — published metadata next to what the synthetic
+//! generators actually produce at the current scale.
+
+use cubie_analysis::report;
+use cubie_bench::{graph_scale, sparse_scale};
+use cubie_graph::generators as graph_gen;
+use cubie_kernels::{Workload, prepare_cases};
+use cubie_sparse::generators as sparse_gen;
+
+fn main() {
+    // Table 2: workloads.
+    println!("# Table 2 — the Cubie workloads\n");
+    let rows: Vec<Vec<String>> = Workload::ALL
+        .iter()
+        .map(|w| {
+            let s = w.spec();
+            let cases = prepare_cases(*w, 64, 1024);
+            let labels: Vec<String> = cases.iter().map(|c| c.label()).collect();
+            vec![
+                s.name.to_string(),
+                format!("Q{}", s.quadrant),
+                s.dwarf.to_string(),
+                s.baseline.unwrap_or("-").to_string(),
+                labels.join(", "),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["kernel", "quadrant", "dwarf", "baseline", "five test cases"],
+            &rows
+        )
+    );
+
+    // Table 3: graphs.
+    let gs = graph_scale();
+    println!("# Table 3 — BFS graphs (generated at scale 1/{gs})\n");
+    let rows: Vec<Vec<String>> = graph_gen::table3_graphs(gs)
+        .into_iter()
+        .map(|(info, g)| {
+            vec![
+                info.name.to_string(),
+                info.group.to_string(),
+                format!("{}", info.vertices),
+                format!("{}", info.edges),
+                format!("{}", g.n),
+                format!("{}", g.num_arcs()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["graph", "group", "#vertices (paper)", "#edges (paper)", "#vertices (gen)", "#arcs (gen)"],
+            &rows
+        )
+    );
+
+    // Table 4: matrices.
+    let ss = sparse_scale();
+    println!("# Table 4 — SpMV/SpGEMM matrices (generated at scale 1/{ss})\n");
+    let rows: Vec<Vec<String>> = sparse_gen::table4_matrices(ss)
+        .into_iter()
+        .map(|(info, m)| {
+            vec![
+                info.name.to_string(),
+                info.group.to_string(),
+                format!("{}", info.rows),
+                format!("{}", info.nnz),
+                format!("{}", m.rows),
+                format!("{}", m.nnz()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["matrix", "group", "#rows (paper)", "#nnz (paper)", "#rows (gen)", "#nnz (gen)"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 5: the specifications of the three GPUs evaluated.
+
+use cubie_analysis::report;
+use cubie_bench::devices;
+
+fn main() {
+    println!("# Table 5 — device specifications\n");
+    let rows: Vec<Vec<String>> = devices()
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                format!("{:.1}", d.tc_fp64_tflops),
+                format!("{:.1}", d.cc_fp64_tflops),
+                format!("{:.0}", d.dram_bw_gbs),
+                format!("{:.0}", d.dram_gb),
+                format!("{}", d.sm_count),
+                format!("{:.0}", d.power.tdp_w),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "device",
+                "TC FP64 (TFLOP/s)",
+                "CC FP64 (TFLOP/s)",
+                "DRAM (GB/s)",
+                "DRAM (GB)",
+                "SMs",
+                "TDP (W)"
+            ],
+            &rows
+        )
+    );
+    let path = report::results_dir().join("table5_specs.csv");
+    report::write_csv(
+        &path,
+        &["device", "tc_fp64", "cc_fp64", "dram_gbs", "dram_gb", "sms", "tdp_w"],
+        &rows,
+    )
+    .unwrap();
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,81 @@
+//! Table 6: FP64 numerical errors of every implementation against the
+//! serial CPU ground truth. TC and CC are bit-identical (asserted during
+//! the run) and reported as one column, as in the paper. BFS is excluded
+//! (no floating point).
+//!
+//! `CUBIE_ERRORS_QUICK=1` switches to the small test cases.
+
+use cubie_analysis::errors::{ErrorScale, table6};
+use cubie_analysis::report;
+
+fn main() {
+    let scale = if std::env::var("CUBIE_ERRORS_QUICK").is_ok() {
+        ErrorScale::Quick
+    } else {
+        ErrorScale::Full
+    };
+    let rows = table6(scale);
+    println!("# Table 6 — FP64 numerical errors vs CPU serial ground truth\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let fmt = |e: Option<cubie_core::ErrorStats>| match e {
+                Some(e) => format!("{} / {}", report::sci(e.avg), report::sci(e.max)),
+                None => "-".to_string(),
+            };
+            vec![
+                r.workload.spec().name.to_string(),
+                r.case_label.clone(),
+                fmt(r.baseline),
+                format!(
+                    "{} / {}",
+                    report::sci(r.tc_cc.avg),
+                    report::sci(r.tc_cc.max)
+                ),
+                fmt(r.cce),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["workload", "case", "Baseline avg/max", "TC=CC avg/max", "CC-E avg/max"],
+            &table
+        )
+    );
+    println!("(TC and CC verified bit-identical for every workload — Observation 7.)");
+
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .flat_map(|r| {
+            let mut out = Vec::new();
+            let w = r.workload.spec().name.to_string();
+            if let Some(b) = r.baseline {
+                out.push(vec![
+                    w.clone(),
+                    "Baseline".into(),
+                    format!("{:e}", b.avg),
+                    format!("{:e}", b.max),
+                ]);
+            }
+            out.push(vec![
+                w.clone(),
+                "TC/CC".into(),
+                format!("{:e}", r.tc_cc.avg),
+                format!("{:e}", r.tc_cc.max),
+            ]);
+            if let Some(c) = r.cce {
+                out.push(vec![
+                    w,
+                    "CC-E".into(),
+                    format!("{:e}", c.avg),
+                    format!("{:e}", c.max),
+                ]);
+            }
+            out
+        })
+        .collect();
+    let path = report::results_dir().join("table6_errors.csv");
+    report::write_csv(&path, &["workload", "variant", "avg_error", "max_error"], &csv).unwrap();
+    println!("wrote {}", path.display());
+}

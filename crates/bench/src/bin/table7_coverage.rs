@@ -1,0 +1,48 @@
+//! Table 7: comparison of Cubie with Rodinia and SHOC — Berkeley dwarfs
+//! covered and features evaluated.
+
+use cubie_analysis::coverage::{TABLE7, TABLE7_FEATURES};
+use cubie_analysis::report;
+
+fn main() {
+    println!("# Table 7 — dwarf and feature coverage\n");
+    let mut rows: Vec<Vec<String>> = TABLE7
+        .iter()
+        .map(|r| {
+            let n = |v: u32| {
+                if v == 0 {
+                    "-".to_string()
+                } else {
+                    v.to_string()
+                }
+            };
+            vec![
+                r.dwarf.to_string(),
+                n(r.rodinia),
+                n(r.shoc),
+                n(r.cubie),
+            ]
+        })
+        .collect();
+    for (feature, suites) in TABLE7_FEATURES {
+        let mark = |b: bool| if b { "✓" } else { "" }.to_string();
+        rows.push(vec![
+            feature.to_string(),
+            mark(suites[0]),
+            mark(suites[1]),
+            mark(suites[2]),
+        ]);
+    }
+    println!(
+        "{}",
+        report::markdown_table(&["dwarf / feature", "Rodinia", "SHOC", "Cubie"], &rows)
+    );
+    println!(
+        "Cubie covers {} dwarfs and evaluates {} features.",
+        TABLE7.iter().filter(|r| r.cubie > 0).count(),
+        TABLE7_FEATURES.iter().filter(|(_, s)| s[2]).count()
+    );
+    let path = report::results_dir().join("table7_coverage.csv");
+    report::write_csv(&path, &["dwarf_or_feature", "rodinia", "shoc", "cubie"], &rows).unwrap();
+    println!("wrote {}", path.display());
+}

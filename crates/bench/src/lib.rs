@@ -1,0 +1,194 @@
+//! # cubie-bench
+//!
+//! The experiment harness: one binary per paper figure/table (run with
+//! `cargo run --release -p cubie-bench --bin <name>`), plus Criterion
+//! benchmarks of the actual Rust implementations.
+//!
+//! | binary                | regenerates            |
+//! |-----------------------|------------------------|
+//! | `fig3_performance`    | Figure 3               |
+//! | `fig4_tc_vs_baseline` | Figure 4               |
+//! | `fig5_cc_vs_tc`       | Figure 5               |
+//! | `fig6_cce_vs_tc`      | Figure 6               |
+//! | `fig7_edp`            | Figure 7               |
+//! | `fig8_power_traces`   | Figure 8               |
+//! | `fig9_roofline`       | Figure 9               |
+//! | `fig10_corpus_pca`    | Figure 10              |
+//! | `fig11_suite_pca`     | Figure 11              |
+//! | `fig12_peak_evolution`| Figure 12              |
+//! | `table5_specs`        | Table 5                |
+//! | `table6_errors`       | Table 6                |
+//! | `table7_coverage`     | Table 7                |
+//! | `table234_inventory`  | Tables 2, 3, 4         |
+//! | `observations`        | Observations O1–O9     |
+//!
+//! Every binary prints a markdown rendering and writes CSV data under
+//! `results/`.
+
+use cubie_device::{DeviceSpec, all_devices};
+use cubie_kernels::{PreparedCase, Variant, Workload, prepare_cases};
+use cubie_sim::{WorkloadTrace, time_workload};
+
+/// Scale divisor for the Table 4 sparse matrices (1 = the published
+/// sizes). Override with `CUBIE_SPARSE_SCALE`.
+pub fn sparse_scale() -> usize {
+    std::env::var("CUBIE_SPARSE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Scale divisor for the Table 3 graphs (default 16: the published
+/// 90–234M-arc graphs need several GB to materialize). Override with
+/// `CUBIE_GRAPH_SCALE`.
+pub fn graph_scale() -> usize {
+    std::env::var("CUBIE_GRAPH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+/// One measured cell of the Figure 3 sweep.
+pub struct SweepCell {
+    /// Workload.
+    pub workload: Workload,
+    /// Case label.
+    pub case: String,
+    /// Variant.
+    pub variant: Variant,
+    /// Device name.
+    pub device: String,
+    /// Simulated execution time, seconds.
+    pub time_s: f64,
+    /// Throughput in the workload's unit (useful work / time / 1e9).
+    pub gthroughput: f64,
+}
+
+/// Prepared cases plus their traces for one workload (inputs generated
+/// once, traces cached per variant).
+pub struct WorkloadSweep {
+    /// The workload.
+    pub workload: Workload,
+    /// Case labels.
+    pub labels: Vec<String>,
+    /// Useful work per case.
+    pub useful: Vec<f64>,
+    /// `traces[case][variant_index]`, aligned with `workload.variants()`.
+    pub traces: Vec<Vec<WorkloadTrace>>,
+}
+
+impl WorkloadSweep {
+    /// Prepare one workload's five cases and all variant traces.
+    pub fn prepare(w: Workload) -> Self {
+        let cases: Vec<PreparedCase> = prepare_cases(w, sparse_scale(), graph_scale());
+        let variants = w.variants();
+        let mut labels = Vec::new();
+        let mut useful = Vec::new();
+        let mut traces = Vec::new();
+        for case in &cases {
+            labels.push(case.label());
+            useful.push(case.useful_work());
+            traces.push(
+                variants
+                    .iter()
+                    .map(|v| case.trace(*v).expect("variant is evaluated"))
+                    .collect(),
+            );
+        }
+        Self {
+            workload: w,
+            labels,
+            useful,
+            traces,
+        }
+    }
+
+    /// Time every (case, variant) pair on `device`.
+    pub fn cells(&self, device: &DeviceSpec) -> Vec<SweepCell> {
+        let variants = self.workload.variants();
+        let mut out = Vec::new();
+        for (ci, label) in self.labels.iter().enumerate() {
+            for (vi, v) in variants.iter().enumerate() {
+                let t = time_workload(device, &self.traces[ci][vi]);
+                out.push(SweepCell {
+                    workload: self.workload,
+                    case: label.clone(),
+                    variant: *v,
+                    device: device.name.clone(),
+                    time_s: t.total_s,
+                    gthroughput: self.useful[ci] / t.total_s / 1e9,
+                });
+            }
+        }
+        out
+    }
+
+    /// Geomean speedup of variant `a` over `b` on `device` across cases.
+    pub fn geomean_speedup(&self, device: &DeviceSpec, a: Variant, b: Variant) -> Option<f64> {
+        let variants = self.workload.variants();
+        let ia = variants.iter().position(|v| *v == a)?;
+        let ib = variants.iter().position(|v| *v == b)?;
+        let mut log_sum = 0.0;
+        for ci in 0..self.labels.len() {
+            let ta = time_workload(device, &self.traces[ci][ia]).total_s;
+            let tb = time_workload(device, &self.traces[ci][ib]).total_s;
+            log_sum += (tb / ta).ln();
+        }
+        Some((log_sum / self.labels.len() as f64).exp())
+    }
+}
+
+/// The three Table 5 devices.
+pub fn devices() -> Vec<DeviceSpec> {
+    all_devices()
+}
+
+/// The paper's Figure 7 per-workload repeat counts ("each of the ten
+/// workloads is executed 500, 60, 400, 5K, 25K, 50K, 2K, 6M, 1M, and 5K
+/// times"), assigned in Table 2 order.
+pub fn fig7_repeats(w: Workload) -> u64 {
+    match w {
+        Workload::Gemm => 500,
+        Workload::Pic => 60,
+        Workload::Fft => 400,
+        Workload::Stencil => 5_000,
+        Workload::Scan => 6_000_000 / cubie_kernels::scan::KERNEL_REPEATS,
+        Workload::Reduction => 1_000_000 / cubie_kernels::scan::KERNEL_REPEATS,
+        Workload::Bfs => 2_000,
+        Workload::Gemv => 50_000,
+        Workload::Spmv => 25_000,
+        Workload::Spgemm => 5_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_prepares_and_times() {
+        let sweep = WorkloadSweep::prepare(Workload::Scan);
+        assert_eq!(sweep.labels.len(), 5);
+        let cells = sweep.cells(&devices()[1]);
+        // 4 variants × 5 cases.
+        assert_eq!(cells.len(), 20);
+        assert!(cells.iter().all(|c| c.time_s > 0.0 && c.gthroughput > 0.0));
+    }
+
+    #[test]
+    fn geomean_speedup_matches_direction() {
+        let sweep = WorkloadSweep::prepare(Workload::Reduction);
+        let d = &devices()[0];
+        let s = sweep
+            .geomean_speedup(d, Variant::Tc, Variant::Baseline)
+            .unwrap();
+        assert!(s > 1.0, "reduction TC speedup {s}");
+    }
+
+    #[test]
+    fn fig7_repeats_cover_all() {
+        for w in Workload::ALL {
+            assert!(fig7_repeats(w) > 0);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Warp-level fragment layouts for the MMA instructions the suite uses.
+//!
+//! A warp of 32 threads collectively owns the `A`, `B` and `C`/`D` matrices
+//! of an MMA instruction. These functions reproduce the PTX-documented
+//! lane-to-element mappings so that kernels (and their CC replacements,
+//! which must preserve "the same thread responsibilities and data layouts"
+//! per Section 5.2 of the paper) can be written against the real layout.
+//!
+//! ## FP64 `mma.m8n8k4`
+//!
+//! * `A` is 8×4 (row major): lane `t` holds `A[t / 4][t % 4]`.
+//! * `B` is 4×8 (col major): lane `t` holds `B[t % 4][t / 4]`.
+//! * `C`/`D` are 8×8: lane `t` holds the two elements
+//!   `C[t / 4][2 * (t % 4)]` and `C[t / 4][2 * (t % 4) + 1]`.
+//!
+//! ## Single-bit `mma.m8n8k128`
+//!
+//! * `A` is 8×128 bits: lane `t` holds the 32-bit chunk
+//!   `A[t / 4][32 * (t % 4) .. 32 * (t % 4) + 32]`.
+//! * `B` is 128×8 bits, column major, chunked the same way.
+//! * `C`/`D` are 8×8 `u32` with the FP64 accumulator layout above.
+
+use crate::WARP_SIZE;
+
+/// Row and column of the single FP64 `A`-fragment element held by `lane`.
+#[inline]
+pub fn a_f64_coords(lane: usize) -> (usize, usize) {
+    debug_assert!(lane < WARP_SIZE);
+    (lane / 4, lane % 4)
+}
+
+/// Row and column of the single FP64 `B`-fragment element held by `lane`.
+#[inline]
+pub fn b_f64_coords(lane: usize) -> (usize, usize) {
+    debug_assert!(lane < WARP_SIZE);
+    (lane % 4, lane / 4)
+}
+
+/// Rows and columns of the two FP64 accumulator elements held by `lane`.
+#[inline]
+pub fn c_f64_coords(lane: usize) -> [(usize, usize); 2] {
+    debug_assert!(lane < WARP_SIZE);
+    let row = lane / 4;
+    let col = 2 * (lane % 4);
+    [(row, col), (row, col + 1)]
+}
+
+/// Pack a row-major 8×4 `A` matrix into its warp fragment
+/// (`frag[lane]` = the element lane `lane` owns).
+pub fn pack_a_f64(a: &[f64; 32]) -> [f64; 32] {
+    let mut frag = [0.0; 32];
+    for (lane, slot) in frag.iter_mut().enumerate() {
+        let (r, c) = a_f64_coords(lane);
+        *slot = a[r * 4 + c];
+    }
+    frag
+}
+
+/// Pack a row-major 4×8 `B` matrix into its warp fragment.
+pub fn pack_b_f64(b: &[f64; 32]) -> [f64; 32] {
+    let mut frag = [0.0; 32];
+    for (lane, slot) in frag.iter_mut().enumerate() {
+        let (r, c) = b_f64_coords(lane);
+        *slot = b[r * 8 + c];
+    }
+    frag
+}
+
+/// Pack a row-major 8×8 accumulator into its warp fragment
+/// (two elements per lane).
+pub fn pack_c_f64(c: &[f64; 64]) -> [[f64; 2]; 32] {
+    let mut frag = [[0.0; 2]; 32];
+    for (lane, slot) in frag.iter_mut().enumerate() {
+        let [(r0, c0), (r1, c1)] = c_f64_coords(lane);
+        slot[0] = c[r0 * 8 + c0];
+        slot[1] = c[r1 * 8 + c1];
+    }
+    frag
+}
+
+/// Unpack an accumulator fragment back into a row-major 8×8 matrix.
+pub fn unpack_c_f64(frag: &[[f64; 2]; 32]) -> [f64; 64] {
+    let mut c = [0.0; 64];
+    for (lane, slot) in frag.iter().enumerate() {
+        let [(r0, c0), (r1, c1)] = c_f64_coords(lane);
+        c[r0 * 8 + c0] = slot[0];
+        c[r1 * 8 + c1] = slot[1];
+    }
+    c
+}
+
+/// 32-bit chunk index (row, chunk-of-row) of the bit-`A` fragment held by
+/// `lane` for `mma.m8n8k128.b1`.
+#[inline]
+pub fn a_b1_coords(lane: usize) -> (usize, usize) {
+    debug_assert!(lane < WARP_SIZE);
+    (lane / 4, lane % 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn a_fragment_covers_all_elements_once() {
+        let coords: HashSet<_> = (0..WARP_SIZE).map(a_f64_coords).collect();
+        assert_eq!(coords.len(), 32);
+        for (r, c) in coords {
+            assert!(r < 8 && c < 4);
+        }
+    }
+
+    #[test]
+    fn b_fragment_covers_all_elements_once() {
+        let coords: HashSet<_> = (0..WARP_SIZE).map(b_f64_coords).collect();
+        assert_eq!(coords.len(), 32);
+        for (r, c) in coords {
+            assert!(r < 4 && c < 8);
+        }
+    }
+
+    #[test]
+    fn c_fragment_covers_all_64_elements_once() {
+        let mut seen = HashSet::new();
+        for lane in 0..WARP_SIZE {
+            for rc in c_f64_coords(lane) {
+                assert!(seen.insert(rc), "duplicate accumulator element {rc:?}");
+                assert!(rc.0 < 8 && rc.1 < 8);
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn c_lane_elements_are_adjacent_columns() {
+        for lane in 0..WARP_SIZE {
+            let [(r0, c0), (r1, c1)] = c_f64_coords(lane);
+            assert_eq!(r0, r1);
+            assert_eq!(c1, c0 + 1);
+            assert_eq!(c0 % 2, 0);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_c_roundtrip() {
+        let mut c = [0.0f64; 64];
+        for (i, v) in c.iter_mut().enumerate() {
+            *v = i as f64 * 0.5 - 7.0;
+        }
+        let frag = pack_c_f64(&c);
+        let back = unpack_c_f64(&frag);
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn pack_a_places_row_major_elements() {
+        let mut a = [0.0f64; 32];
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let frag = pack_a_f64(&a);
+        // lane 5 owns A[1][1] = element index 5 in row-major 8x4.
+        assert_eq!(frag[5], 5.0);
+        // lane 31 owns A[7][3] = index 31.
+        assert_eq!(frag[31], 31.0);
+    }
+
+    #[test]
+    fn pack_b_places_col_major_elements() {
+        let mut b = [0.0f64; 32];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let frag = pack_b_f64(&b);
+        // lane 5 owns B[1][1] = row-major index 1*8+1 = 9.
+        assert_eq!(frag[5], 9.0);
+        // lane 30 owns B[2][7] = 2*8+7 = 23.
+        assert_eq!(frag[30], 23.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # cubie-core
+//!
+//! Core substrate for the Cubie-rs characterization suite: the matrix
+//! multiplication unit (MMU) abstraction itself.
+//!
+//! The paper evaluates NVIDIA tensor cores as a representative MMU through
+//! the warp-level `mma` PTX interface. Since no tensor-core hardware is
+//! assumed here, this crate provides a *functional emulation* of that
+//! interface with bit-exact FP64 arithmetic semantics:
+//!
+//! * [`frag`] — warp-level fragment layouts for the FP64 `m8n8k4` MMA and
+//!   the single-bit `m8n8k128` MMA (which lane of the 32-thread warp owns
+//!   which matrix element).
+//! * [`mma`] — the MMA instructions themselves, with the accumulation
+//!   order real FP64 tensor cores use (a chain of fused multiply-adds per
+//!   output element), plus naive reference implementations used by tests.
+//! * [`counters`] — operation counters recorded during functional kernel
+//!   execution and produced by analytic kernel traces; these drive the
+//!   timing, power, and roofline models in `cubie-sim`.
+//! * [`rng`] — the Lehmer linear congruential generator the paper borrows
+//!   from LINPACK for pseudo-random input initialization in `(-2, 2)`.
+//! * [`complex`] — minimal complex arithmetic for the FFT workload.
+//! * [`error`] — average / maximum numerical error metrics (Table 6).
+//! * [`matrix`] — small row-major dense matrix container shared by the
+//!   workloads.
+//! * [`par`] — scoped-thread data-parallel helpers used by the functional
+//!   executions of the workloads.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod counters;
+pub mod error;
+pub mod frag;
+pub mod matrix;
+pub mod mma;
+pub mod par;
+pub mod rng;
+
+pub use complex::C64;
+pub use counters::{MemTraffic, OpCounters};
+pub use error::ErrorStats;
+pub use matrix::DenseMatrix;
+pub use rng::{LcgF64, SplitMix64};
+
+/// Number of threads in a warp — the cooperative execution group that owns
+/// MMA fragments.
+pub const WARP_SIZE: usize = 32;

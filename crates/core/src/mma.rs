@@ -1,0 +1,390 @@
+//! The MMA instructions themselves, functionally emulated.
+//!
+//! Real FP64 tensor cores (`mma.sync.aligned.m8n8k4...f64`) compute each
+//! output element as a chain of IEEE-754 fused multiply-adds over the `k`
+//! dimension, seeded with the accumulator:
+//! `d = fma(a3, b3, fma(a2, b2, fma(a1, b1, fma(a0, b0, c))))`.
+//! [`mma_f64_m8n8k4`] reproduces exactly that order with `f64::mul_add`,
+//! so TC results here carry the same rounding behaviour the paper measures
+//! (and, as the paper's Observation 7 requires, the CC replacement that
+//! issues the same FMA chain on "CUDA cores" is bit-identical).
+//!
+//! The single-bit `mma.m8n8k128` performs `d[i][j] = c[i][j] +
+//! popcount(a_row_i AND b_col_j)` over 128-bit rows/columns.
+
+use crate::counters::{MMA_F64_FMAS, OpCounters};
+
+/// One FP64 `m8n8k4` MMA on row-major matrices:
+/// `c (8×8) += a (8×4) · b (4×8)`, with the tensor-core FMA chain per
+/// element. Increments `counters.mma_f64`.
+#[inline]
+pub fn mma_f64_m8n8k4(a: &[f64; 32], b: &[f64; 32], c: &mut [f64; 64], counters: &mut OpCounters) {
+    for i in 0..8 {
+        for j in 0..8 {
+            let mut acc = c[i * 8 + j];
+            for k in 0..4 {
+                acc = a[i * 4 + k].mul_add(b[k * 8 + j], acc);
+            }
+            c[i * 8 + j] = acc;
+        }
+    }
+    counters.mma_f64 += 1;
+}
+
+/// The CUDA-core replacement of [`mma_f64_m8n8k4`] (the paper's CC
+/// variant): identical data layout and arithmetic — the same FMA chain per
+/// element — but issued as 256 CUDA-core FMAs instead of one tensor-core
+/// instruction. Bit-identical results to the TC version by construction.
+///
+/// Because each lane owns only one `A` and one `B` fragment element while
+/// every output element needs operands from other lanes, the replacement
+/// also issues warp shuffles to exchange operands (eight per lane per
+/// MMA) — data movement the tensor core performs internally. These are
+/// counted as integer/logic lane operations.
+#[inline]
+pub fn cc_mma_f64_m8n8k4(
+    a: &[f64; 32],
+    b: &[f64; 32],
+    c: &mut [f64; 64],
+    counters: &mut OpCounters,
+) {
+    for i in 0..8 {
+        for j in 0..8 {
+            let mut acc = c[i * 8 + j];
+            for k in 0..4 {
+                acc = a[i * 4 + k].mul_add(b[k * 8 + j], acc);
+            }
+            c[i * 8 + j] = acc;
+        }
+    }
+    counters.fma_f64 += MMA_F64_FMAS;
+    counters.int_ops += MMA_F64_FMAS; // operand shuffles
+}
+
+/// Naive reference matmul-accumulate used only by tests, accumulating in
+/// the same `k`-ascending order but through separate multiply and add
+/// (i.e. *not* fused). Tests use it to show that the fused chain differs
+/// from unfused accumulation while agreeing with the CC replacement.
+pub fn reference_mma_unfused(a: &[f64; 32], b: &[f64; 32], c: &mut [f64; 64]) {
+    for i in 0..8 {
+        for j in 0..8 {
+            let mut acc = c[i * 8 + j];
+            for k in 0..4 {
+                acc += a[i * 4 + k] * b[k * 8 + j];
+            }
+            c[i * 8 + j] = acc;
+        }
+    }
+}
+
+/// One single-bit `m8n8k128` MMA with AND·popc semantics:
+/// `c[i][j] += popcount(a[i] & b_col[j])`, where `a[i]` is the 128-bit row
+/// `i` of `A` and `b_col[j]` the 128-bit column `j` of `B`.
+/// Increments `counters.mma_b1`.
+#[inline]
+pub fn mma_b1_m8n8k128_and_popc(
+    a_rows: &[u128; 8],
+    b_cols: &[u128; 8],
+    c: &mut [u32; 64],
+    counters: &mut OpCounters,
+) {
+    for i in 0..8 {
+        for j in 0..8 {
+            c[i * 8 + j] += (a_rows[i] & b_cols[j]).count_ones();
+        }
+    }
+    counters.mma_b1 += 1;
+}
+
+/// CUDA-core replacement of the bit MMA: the same AND/popcount work issued
+/// as 32-bit integer operations (each 128-bit row-column pair costs four
+/// 32-bit AND + four popcounts + accumulation), counted on `int_ops`.
+#[inline]
+pub fn cc_mma_b1_m8n8k128_and_popc(
+    a_rows: &[u128; 8],
+    b_cols: &[u128; 8],
+    c: &mut [u32; 64],
+    counters: &mut OpCounters,
+) {
+    for i in 0..8 {
+        for j in 0..8 {
+            c[i * 8 + j] += (a_rows[i] & b_cols[j]).count_ones();
+        }
+    }
+    // 8*8 pairs × (4 AND + 4 POPC + 4 ADD) 32-bit ops.
+    counters.int_ops += 8 * 8 * 12;
+}
+
+/// One logical 8×8×8 matrix multiply-accumulate, issued as two chained
+/// FP64 `m8n8k4` MMAs (`k = 0..4` then `k = 4..8`) — the building block
+/// of the Scan/Reduction kernels, whose constant operands are full 8×8
+/// matrices. All matrices row-major; `c += a · b`.
+#[inline]
+pub fn mma_f64_8x8x8(a: &[f64; 64], b: &[f64; 64], c: &mut [f64; 64], counters: &mut OpCounters) {
+    let mut at = [0.0f64; 32];
+    let mut bt = [0.0f64; 32];
+    for half in 0..2 {
+        let k0 = half * 4;
+        for i in 0..8 {
+            at[i * 4..i * 4 + 4].copy_from_slice(&a[i * 8 + k0..i * 8 + k0 + 4]);
+        }
+        for k in 0..4 {
+            bt[k * 8..k * 8 + 8].copy_from_slice(&b[(k0 + k) * 8..(k0 + k) * 8 + 8]);
+        }
+        mma_f64_m8n8k4(&at, &bt, c, counters);
+    }
+}
+
+/// CUDA-core replacement of [`mma_f64_8x8x8`] (identical numerics,
+/// counted as 512 CUDA-core FMAs).
+#[inline]
+pub fn cc_mma_f64_8x8x8(
+    a: &[f64; 64],
+    b: &[f64; 64],
+    c: &mut [f64; 64],
+    counters: &mut OpCounters,
+) {
+    let mut scratch = OpCounters::new();
+    mma_f64_8x8x8(a, b, c, &mut scratch);
+    counters.fma_f64 += scratch.mma_f64 * MMA_F64_FMAS;
+    counters.int_ops += scratch.mma_f64 * MMA_F64_FMAS; // operand shuffles
+}
+
+/// Multiply an `M×K` by a `K×N` row-major matrix through tiled FP64 MMA
+/// instructions, zero-padding ragged edges. This is the building block for
+/// warp-level GEMM stages inside the workloads. `c` must be `M×N` and is
+/// accumulated into. Dimensions need not be multiples of the tile shape.
+pub fn mma_tiled_f64(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    counters: &mut OpCounters,
+) {
+    assert_eq!(a.len(), m * k, "A must be M×K");
+    assert_eq!(b.len(), k * n, "B must be K×N");
+    assert_eq!(c.len(), m * n, "C must be M×N");
+    let mut at = [0.0f64; 32];
+    let mut bt = [0.0f64; 32];
+    let mut ct = [0.0f64; 64];
+    for i0 in (0..m).step_by(8) {
+        for j0 in (0..n).step_by(8) {
+            ct.fill(0.0);
+            for (ii, row) in ct.chunks_exact_mut(8).enumerate() {
+                if i0 + ii < m {
+                    for (jj, v) in row.iter_mut().enumerate() {
+                        if j0 + jj < n {
+                            *v = c[(i0 + ii) * n + (j0 + jj)];
+                        }
+                    }
+                }
+            }
+            for k0 in (0..k).step_by(4) {
+                at.fill(0.0);
+                bt.fill(0.0);
+                for ii in 0..8usize.min(m - i0) {
+                    for kk in 0..4usize.min(k - k0) {
+                        at[ii * 4 + kk] = a[(i0 + ii) * k + (k0 + kk)];
+                    }
+                }
+                for kk in 0..4usize.min(k - k0) {
+                    for jj in 0..8usize.min(n - j0) {
+                        bt[kk * 8 + jj] = b[(k0 + kk) * n + (j0 + jj)];
+                    }
+                }
+                mma_f64_m8n8k4(&at, &bt, &mut ct, counters);
+            }
+            for ii in 0..8usize.min(m - i0) {
+                for jj in 0..8usize.min(n - j0) {
+                    c[(i0 + ii) * n + (j0 + jj)] = ct[ii * 8 + jj];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::LcgF64;
+
+    fn random_tile(seed: u64) -> ([f64; 32], [f64; 32], [f64; 64]) {
+        let mut g = LcgF64::new(seed);
+        let mut a = [0.0; 32];
+        let mut b = [0.0; 32];
+        let mut c = [0.0; 64];
+        g.fill(&mut a);
+        g.fill(&mut b);
+        g.fill(&mut c);
+        (a, b, c)
+    }
+
+    #[test]
+    fn mma_matches_exact_small_integers() {
+        // Integer-valued inputs are exact in f64 whether fused or not.
+        let mut a = [0.0; 32];
+        let mut b = [0.0; 32];
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = (i % 5) as f64;
+        }
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i * 3) % 7) as f64;
+        }
+        let mut c = [1.0; 64];
+        let mut cref = [1.0; 64];
+        let mut ctr = OpCounters::new();
+        mma_f64_m8n8k4(&a, &b, &mut c, &mut ctr);
+        reference_mma_unfused(&a, &b, &mut cref);
+        assert_eq!(c, cref);
+        assert_eq!(ctr.mma_f64, 1);
+    }
+
+    #[test]
+    fn cc_replacement_is_bit_identical_to_tc() {
+        for seed in 1..20 {
+            let (a, b, c0) = random_tile(seed);
+            let mut c_tc = c0;
+            let mut c_cc = c0;
+            let mut k1 = OpCounters::new();
+            let mut k2 = OpCounters::new();
+            mma_f64_m8n8k4(&a, &b, &mut c_tc, &mut k1);
+            cc_mma_f64_m8n8k4(&a, &b, &mut c_cc, &mut k2);
+            assert_eq!(c_tc, c_cc, "TC and CC must agree bit-for-bit");
+            assert_eq!(k1.mma_f64, 1);
+            assert_eq!(k2.fma_f64, 256);
+            assert_eq!(k1.tc_flops(), k2.cc_flops());
+        }
+    }
+
+    #[test]
+    fn fused_chain_can_differ_from_unfused() {
+        // Find at least one random tile where fused and unfused rounding
+        // differ — demonstrating the MMA semantics are genuinely fused.
+        let mut any_diff = false;
+        for seed in 1..200 {
+            let (a, b, c0) = random_tile(seed);
+            let mut cf = c0;
+            let mut cu = c0;
+            let mut ctr = OpCounters::new();
+            mma_f64_m8n8k4(&a, &b, &mut cf, &mut ctr);
+            reference_mma_unfused(&a, &b, &mut cu);
+            if cf != cu {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "fused MMA never differed from unfused reference");
+    }
+
+    #[test]
+    fn bit_mma_counts_intersections() {
+        let mut a = [0u128; 8];
+        let mut b = [0u128; 8];
+        a[0] = 0b1011;
+        b[0] = 0b0011;
+        a[7] = u128::MAX;
+        b[7] = u128::MAX;
+        let mut c = [0u32; 64];
+        let mut ctr = OpCounters::new();
+        mma_b1_m8n8k128_and_popc(&a, &b, &mut c, &mut ctr);
+        assert_eq!(c[0], 2); // popc(1011 & 0011) = 2
+        assert_eq!(c[7 * 8 + 7], 128);
+        assert_eq!(c[0 * 8 + 7], 3); // a[0] & full = 3 bits
+        assert_eq!(ctr.mma_b1, 1);
+    }
+
+    #[test]
+    fn bit_mma_accumulates() {
+        let a = [1u128; 8];
+        let b = [1u128; 8];
+        let mut c = [0u32; 64];
+        let mut ctr = OpCounters::new();
+        mma_b1_m8n8k128_and_popc(&a, &b, &mut c, &mut ctr);
+        mma_b1_m8n8k128_and_popc(&a, &b, &mut c, &mut ctr);
+        assert!(c.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn tiled_mma_matches_naive_matmul() {
+        let (m, n, k) = (13, 9, 10); // deliberately ragged
+        let mut g = LcgF64::new(3);
+        let a = g.vec(m * k);
+        let b = g.vec(k * n);
+        let mut c = vec![0.0; m * n];
+        let mut ctr = OpCounters::new();
+        mma_tiled_f64(&a, &b, &mut c, m, n, k, &mut ctr);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for kk in 0..k {
+                    acc = a[i * k + kk].mul_add(b[kk * n + j], acc);
+                }
+                let d = (c[i * n + j] - acc).abs();
+                assert!(d < 1e-12, "({i},{j}) differs by {d}");
+            }
+        }
+        // ceil(13/8)=2, ceil(9/8)=2, ceil(10/4)=3 tiles.
+        assert_eq!(ctr.mma_f64, 2 * 2 * 3);
+    }
+
+    #[test]
+    fn tiled_mma_accumulates_into_c() {
+        let (m, n, k) = (8, 8, 4);
+        let a = vec![1.0; m * k];
+        let b = vec![1.0; k * n];
+        let mut c = vec![10.0; m * n];
+        let mut ctr = OpCounters::new();
+        mma_tiled_f64(&a, &b, &mut c, m, n, k, &mut ctr);
+        assert!(c.iter().all(|&v| (v - 14.0).abs() < 1e-15));
+    }
+}
+
+#[cfg(test)]
+mod tests_8x8x8 {
+    use super::*;
+    use crate::rng::LcgF64;
+
+    #[test]
+    fn logical_8x8x8_matches_naive() {
+        let mut g = LcgF64::new(77);
+        let mut a = [0.0f64; 64];
+        let mut b = [0.0f64; 64];
+        let mut c = [0.0f64; 64];
+        g.fill(&mut a);
+        g.fill(&mut b);
+        g.fill(&mut c);
+        let mut got = c;
+        let mut ctr = OpCounters::new();
+        mma_f64_8x8x8(&a, &b, &mut got, &mut ctr);
+        assert_eq!(ctr.mma_f64, 2);
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut acc = c[i * 8 + j];
+                for k in 0..8 {
+                    acc = a[i * 8 + k].mul_add(b[k * 8 + j], acc);
+                }
+                assert!((got[i * 8 + j] - acc).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cc_8x8x8_is_bit_identical() {
+        let mut g = LcgF64::new(13);
+        let mut a = [0.0f64; 64];
+        let mut b = [0.0f64; 64];
+        g.fill(&mut a);
+        g.fill(&mut b);
+        let mut c1 = [1.0f64; 64];
+        let mut c2 = [1.0f64; 64];
+        let mut k1 = OpCounters::new();
+        let mut k2 = OpCounters::new();
+        mma_f64_8x8x8(&a, &b, &mut c1, &mut k1);
+        cc_mma_f64_8x8x8(&a, &b, &mut c2, &mut k2);
+        assert_eq!(c1, c2);
+        assert_eq!(k2.fma_f64, 512);
+        assert_eq!(k2.mma_f64, 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Scoped-thread data-parallel helpers for the functional kernel
+//! executions.
+//!
+//! The workloads model GPU thread *blocks*; functionally we execute block
+//! ranges across CPU threads with `std::thread::scope`, which guarantees
+//! data-race freedom through borrow checking (outputs are split into
+//! disjoint chunks, per-block results are collected and merged).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for `n` independent work items.
+pub fn workers_for(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+}
+
+/// Map `f` over `0..n` in parallel, collecting results in index order.
+///
+/// `f` is called exactly once per index. Work is distributed dynamically
+/// (atomic counter) so irregular workloads — sparse rows, BFS frontiers —
+/// balance across threads.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers_for(n);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let chunk = (n / (workers * 8)).max(1);
+    let slots = as_send_slots(&mut out);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            let slots = &slots;
+            s.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    // SAFETY: each index is claimed exactly once by the
+                    // atomic counter, so no two threads touch the same slot.
+                    unsafe {
+                        *slots.get(i) = Some(f(i));
+                    }
+                }
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("slot filled")).collect()
+}
+
+/// Apply `f` to equally sized chunks of `data` in parallel;
+/// `f(chunk_index, chunk)` sees disjoint mutable sub-slices.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let n_chunks = data.len().div_ceil(chunk_size);
+    let workers = workers_for(n_chunks);
+    if workers == 1 {
+        for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let base = data.as_mut_ptr() as usize;
+    let len = data.len();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                let start = i * chunk_size;
+                let end = (start + chunk_size).min(len);
+                // SAFETY: chunk index `i` is claimed exactly once, and the
+                // [start, end) ranges of distinct chunks are disjoint
+                // within the original slice.
+                let chunk = unsafe {
+                    std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start)
+                };
+                f(i, chunk);
+            });
+        }
+    });
+}
+
+/// Parallel fold-and-reduce over `0..n`: each index produces a value with
+/// `f`, merged associatively with `merge` starting from `identity`.
+/// The merge order is deterministic (index-ascending) so results are
+/// reproducible run-to-run.
+pub fn par_reduce<T, F, M>(n: usize, identity: T, f: F, merge: M) -> T
+where
+    T: Send + Clone,
+    F: Fn(usize) -> T + Sync,
+    M: Fn(T, T) -> T,
+{
+    par_map(n, f)
+        .into_iter()
+        .fold(identity, |acc, v| merge(acc, v))
+}
+
+struct SendSlots<T>(*mut Option<T>);
+unsafe impl<T: Send> Sync for SendSlots<T> {}
+impl<T> SendSlots<T> {
+    /// # Safety
+    /// Caller must guarantee exclusive access to index `i`.
+    unsafe fn get(&self, i: usize) -> &mut Option<T> {
+        unsafe { &mut *self.0.add(i) }
+    }
+}
+
+fn as_send_slots<T>(v: &mut [Option<T>]) -> SendSlots<T> {
+    SendSlots(v.as_mut_ptr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v = par_map(1000, |i| i * 2);
+        assert_eq!(v.len(), 1000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let v: Vec<usize> = par_map(0, |i| i);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn par_map_single() {
+        let v = par_map(1, |i| i + 41);
+        assert_eq!(v, vec![41]);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjointly() {
+        let mut data = vec![0u64; 1003];
+        par_chunks_mut(&mut data, 17, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v = ci as u64 + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 17) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_exact_division() {
+        let mut data = vec![0u32; 64];
+        par_chunks_mut(&mut data, 8, |ci, chunk| {
+            assert_eq!(chunk.len(), 8);
+            chunk[0] = ci as u32;
+        });
+        assert_eq!(data[56], 7);
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let s = par_reduce(10_000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn par_reduce_is_deterministic_with_float_merge() {
+        let a = par_reduce(5000, 0.0f64, |i| (i as f64).sin(), |x, y| x + y);
+        let b = par_reduce(5000, 0.0f64, |i| (i as f64).sin(), |x, y| x + y);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workers_for_bounds() {
+        assert_eq!(workers_for(0), 1);
+        assert_eq!(workers_for(1), 1);
+        assert!(workers_for(100) >= 1);
+    }
+}

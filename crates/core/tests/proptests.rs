@@ -1,0 +1,204 @@
+//! Property-based tests of the MMU emulation and core utilities.
+
+use cubie_core::counters::{MMA_F64_FLOPS, MemTraffic};
+use cubie_core::frag::{pack_a_f64, pack_b_f64, pack_c_f64, unpack_c_f64};
+use cubie_core::mma::{
+    cc_mma_f64_m8n8k4, cc_mma_f64_8x8x8, mma_f64_8x8x8, mma_f64_m8n8k4, mma_tiled_f64,
+};
+use cubie_core::{ErrorStats, OpCounters};
+use proptest::prelude::*;
+
+fn finite_val() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-2.0..2.0f64),
+        (-1e6..1e6f64),
+        Just(0.0),
+        Just(1.0),
+        Just(-1.0),
+    ]
+}
+
+fn arr32() -> impl Strategy<Value = [f64; 32]> {
+    proptest::collection::vec(finite_val(), 32).prop_map(|v| {
+        let mut a = [0.0f64; 32];
+        a.copy_from_slice(&v);
+        a
+    })
+}
+
+fn arr64() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(finite_val(), 64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The MMA result matches a naive double-precision matmul closely
+    /// (same operation, different rounding grouping) for arbitrary
+    /// fragments.
+    #[test]
+    fn mma_matches_naive_matmul(a in arr32(), b in arr32(), c0 in arr64()) {
+        let mut c = [0.0f64; 64];
+        c.copy_from_slice(&c0);
+        let mut ctr = OpCounters::new();
+        mma_f64_m8n8k4(&a, &b, &mut c, &mut ctr);
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut acc = c0[i * 8 + j];
+                for k in 0..4 {
+                    acc += a[i * 4 + k] * b[k * 8 + j];
+                }
+                let scale = acc.abs().max(1.0);
+                prop_assert!(
+                    (c[i * 8 + j] - acc).abs() <= 1e-12 * scale,
+                    "({i},{j}): {} vs {}", c[i * 8 + j], acc
+                );
+            }
+        }
+        prop_assert_eq!(ctr.mma_f64, 1);
+    }
+
+    /// CC replacement is bit-identical to the tensor-core emulation for
+    /// ANY input (Observation 7's foundation).
+    #[test]
+    fn cc_replacement_bit_identical(a in arr32(), b in arr32(), c0 in arr64()) {
+        let mut c_tc = [0.0f64; 64];
+        let mut c_cc = [0.0f64; 64];
+        c_tc.copy_from_slice(&c0);
+        c_cc.copy_from_slice(&c0);
+        let mut k1 = OpCounters::new();
+        let mut k2 = OpCounters::new();
+        mma_f64_m8n8k4(&a, &b, &mut c_tc, &mut k1);
+        cc_mma_f64_m8n8k4(&a, &b, &mut c_cc, &mut k2);
+        prop_assert_eq!(c_tc, c_cc);
+        prop_assert_eq!(k1.tc_flops(), k2.cc_flops());
+    }
+
+    /// Logical 8×8×8 MMA == two chained m8n8k4 == its CC form.
+    #[test]
+    fn logical_8x8x8_consistent(a in arr64(), b in arr64(), c0 in arr64()) {
+        let mut aa = [0.0f64; 64];
+        let mut bb = [0.0f64; 64];
+        aa.copy_from_slice(&a);
+        bb.copy_from_slice(&b);
+        let mut c1 = [0.0f64; 64];
+        let mut c2 = [0.0f64; 64];
+        c1.copy_from_slice(&c0);
+        c2.copy_from_slice(&c0);
+        let mut k1 = OpCounters::new();
+        let mut k2 = OpCounters::new();
+        mma_f64_8x8x8(&aa, &bb, &mut c1, &mut k1);
+        cc_mma_f64_8x8x8(&aa, &bb, &mut c2, &mut k2);
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(k1.mma_f64, 2);
+        prop_assert_eq!(k2.fma_f64, 512);
+    }
+
+    /// Fragment pack/unpack of the accumulator is lossless.
+    #[test]
+    fn c_fragment_roundtrip(c0 in arr64()) {
+        let mut c = [0.0f64; 64];
+        c.copy_from_slice(&c0);
+        let frag = pack_c_f64(&c);
+        prop_assert_eq!(unpack_c_f64(&frag), c);
+    }
+
+    /// A/B fragment packing permutes without loss (multisets equal).
+    #[test]
+    fn ab_fragments_are_permutations(a in arr32(), b in arr32()) {
+        let fa = pack_a_f64(&a);
+        let fb = pack_b_f64(&b);
+        let mut sa: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+        let mut sfa: Vec<u64> = fa.iter().map(|v| v.to_bits()).collect();
+        sa.sort_unstable();
+        sfa.sort_unstable();
+        prop_assert_eq!(sa, sfa);
+        let mut sb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+        let mut sfb: Vec<u64> = fb.iter().map(|v| v.to_bits()).collect();
+        sb.sort_unstable();
+        sfb.sort_unstable();
+        prop_assert_eq!(sb, sfb);
+    }
+
+    /// Tiled MMA over arbitrary (ragged) shapes matches the naive
+    /// matmul.
+    #[test]
+    fn tiled_mma_matches_naive(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut g = cubie_core::LcgF64::new(seed + 1);
+        let a = g.vec(m * k);
+        let b = g.vec(k * n);
+        let mut c = vec![0.0f64; m * n];
+        let mut ctr = OpCounters::new();
+        mma_tiled_f64(&a, &b, &mut c, m, n, k, &mut ctr);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                prop_assert!((c[i * n + j] - acc).abs() < 1e-10);
+            }
+        }
+        let expected = (m.div_ceil(8) * n.div_ceil(8) * k.div_ceil(4)) as u64;
+        prop_assert_eq!(ctr.mma_f64, expected);
+    }
+
+    /// Counter algebra: scaled(k) == k-fold sum; flops decompose.
+    #[test]
+    fn counter_algebra(
+        mma in 0u64..1000,
+        fma in 0u64..1000,
+        bytes in 0u64..100_000,
+        k in 1u64..8,
+    ) {
+        let c = OpCounters {
+            mma_f64: mma,
+            fma_f64: fma,
+            gmem_load: MemTraffic::strided(bytes),
+            ..Default::default()
+        };
+        let mut acc = OpCounters::default();
+        for _ in 0..k {
+            acc += c;
+        }
+        prop_assert_eq!(acc, c.scaled(k));
+        prop_assert_eq!(c.flops_f64(), mma * MMA_F64_FLOPS + 2 * fma);
+    }
+
+    /// ErrorStats merge behaves like concatenation.
+    #[test]
+    fn error_merge_is_concatenation(
+        xs in proptest::collection::vec(-1e3..1e3f64, 1..40),
+        ys in proptest::collection::vec(-1e3..1e3f64, 1..40),
+    ) {
+        let zx = vec![0.0; xs.len()];
+        let zy = vec![0.0; ys.len()];
+        let ex = ErrorStats::compare(&xs, &zx);
+        let ey = ErrorStats::compare(&ys, &zy);
+        let merged = ex.merge(ey);
+        let mut all = xs.clone();
+        all.extend(&ys);
+        let zall = vec![0.0; all.len()];
+        let direct = ErrorStats::compare(&all, &zall);
+        prop_assert!((merged.avg - direct.avg).abs() < 1e-12);
+        prop_assert_eq!(merged.max, direct.max);
+        prop_assert_eq!(merged.n, direct.n);
+    }
+
+    /// The LINPACK LCG always stays inside (-2, 2) and is deterministic.
+    #[test]
+    fn lcg_bounded_and_deterministic(seed in 0u64..u32::MAX as u64) {
+        let mut a = cubie_core::LcgF64::new(seed);
+        let mut b = cubie_core::LcgF64::new(seed);
+        for _ in 0..100 {
+            let v = a.next_f64();
+            prop_assert!(v > -2.0 && v < 2.0);
+            prop_assert_eq!(v, b.next_f64());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Preset device specifications for the three GPUs of Table 5 and the
+//! peak-evolution series of Figure 12.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{Arch, DeviceSpec, MemEfficiency, PowerSpec};
+
+/// NVIDIA A100 PCIe 40 GB (Ampere) — Table 5 row 1.
+pub fn a100() -> DeviceSpec {
+    DeviceSpec {
+        name: "A100 (Ampere) PCIe 40GB".to_string(),
+        arch: Arch::Ampere,
+        sm_count: 108,
+        clock_ghz: 1.41,
+        tc_fp64_tflops: 19.5,
+        cc_fp64_tflops: 9.7,
+        tc_b1_tbitops: 2496.0 / 2.0, // dense INT1 TOPS
+        cc_int_tops: 19.5,
+        special_ratio: 0.25,
+        dram_bw_gbs: 1555.0,
+        dram_gb: 40.0,
+        l2_bw_gbs: 5000.0,
+        // N_SM × N_LSU × W_access × f_clock = 108 × 32 × 16 B × 1.41 GHz
+        l1_bw_gbs: 108.0 * 32.0 * 16.0 * 1.41,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+        smem_per_sm_kib: 164,
+        launch_overhead_us: 3.5,
+        mem_eff: MemEfficiency::default(),
+        power: PowerSpec {
+            idle_w: 55.0,
+            tdp_w: 250.0,
+            tc_pipe_w: 120.0,
+            cc_pipe_w: 95.0,
+            mem_w: 90.0,
+            smoothing_tau_s: 0.25,
+        },
+    }
+}
+
+/// NVIDIA H200 SXM 96 GB inside the GH200 platform (Hopper) — Table 5
+/// row 2. The paper quotes a 750 W thermal design power for this module.
+pub fn h200() -> DeviceSpec {
+    DeviceSpec {
+        name: "H200 (Hopper) SXM 96GB".to_string(),
+        arch: Arch::Hopper,
+        sm_count: 132,
+        clock_ghz: 1.98,
+        tc_fp64_tflops: 66.9,
+        cc_fp64_tflops: 33.5,
+        tc_b1_tbitops: 3958.0 / 2.0,
+        cc_int_tops: 33.5,
+        special_ratio: 0.25,
+        dram_bw_gbs: 4000.0,
+        dram_gb: 96.0,
+        l2_bw_gbs: 9000.0,
+        l1_bw_gbs: 132.0 * 32.0 * 16.0 * 1.98,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+        smem_per_sm_kib: 228,
+        launch_overhead_us: 3.0,
+        mem_eff: MemEfficiency::default(),
+        power: PowerSpec {
+            idle_w: 90.0,
+            tdp_w: 750.0,
+            tc_pipe_w: 360.0,
+            cc_pipe_w: 280.0,
+            mem_w: 290.0,
+            smoothing_tau_s: 0.25,
+        },
+    }
+}
+
+/// NVIDIA B200 SXM 180 GB (Blackwell) — Table 5 row 3. FP64 tensor-core
+/// and CUDA-core peaks converge at 40 TFLOP/s; memory bandwidth doubles
+/// to 8 TB/s (why Quadrant IV stays competitive there, Section 6.1).
+pub fn b200() -> DeviceSpec {
+    DeviceSpec {
+        name: "B200 (Blackwell) SXM 180GB".to_string(),
+        arch: Arch::Blackwell,
+        sm_count: 148,
+        clock_ghz: 1.67,
+        tc_fp64_tflops: 40.0,
+        cc_fp64_tflops: 40.0,
+        tc_b1_tbitops: 4500.0 / 2.0,
+        cc_int_tops: 40.0,
+        special_ratio: 0.25,
+        dram_bw_gbs: 8000.0,
+        dram_gb: 180.0,
+        l2_bw_gbs: 16000.0,
+        l1_bw_gbs: 148.0 * 32.0 * 16.0 * 1.67,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+        smem_per_sm_kib: 228,
+        launch_overhead_us: 3.0,
+        mem_eff: MemEfficiency::default(),
+        power: PowerSpec {
+            idle_w: 110.0,
+            tdp_w: 1000.0,
+            tc_pipe_w: 430.0,
+            cc_pipe_w: 360.0,
+            mem_w: 400.0,
+            smoothing_tau_s: 0.25,
+        },
+    }
+}
+
+/// All three evaluation devices in Table 5 order.
+pub fn all_devices() -> Vec<DeviceSpec> {
+    vec![a100(), h200(), b200()]
+}
+
+/// One generation's peak-throughput entry for Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationPeaks {
+    /// Architecture label.
+    pub arch: &'static str,
+    /// FP16 tensor-core peak, TFLOP/s.
+    pub fp16_tc: f64,
+    /// FP16 CUDA-core peak, TFLOP/s.
+    pub fp16_cc: f64,
+    /// FP64 tensor-core peak, TFLOP/s.
+    pub fp64_tc: f64,
+    /// FP64 CUDA-core peak, TFLOP/s.
+    pub fp64_cc: f64,
+}
+
+/// Figure 12 data: peak throughput across NVIDIA's three latest
+/// generations, contrasting the continued FP16 tensor-core scaling with
+/// the FP64 tensor-core regression on Blackwell.
+pub const PEAK_EVOLUTION: [GenerationPeaks; 3] = [
+    GenerationPeaks {
+        arch: "Ampere",
+        fp16_tc: 312.0,
+        fp16_cc: 78.0,
+        fp64_tc: 19.5,
+        fp64_cc: 9.7,
+    },
+    GenerationPeaks {
+        arch: "Hopper",
+        fp16_tc: 989.5,
+        fp16_cc: 133.8,
+        fp64_tc: 67.0,
+        fp64_cc: 33.5,
+    },
+    GenerationPeaks {
+        arch: "Blackwell",
+        fp16_tc: 1800.0,
+        fp16_cc: 80.0,
+        fp64_tc: 30.0,
+        fp64_cc: 40.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_fp16_tc_scales_monotonically() {
+        assert!(PEAK_EVOLUTION[0].fp16_tc < PEAK_EVOLUTION[1].fp16_tc);
+        assert!(PEAK_EVOLUTION[1].fp16_tc < PEAK_EVOLUTION[2].fp16_tc);
+    }
+
+    #[test]
+    fn fig12_fp64_tc_regresses_on_blackwell() {
+        assert!(PEAK_EVOLUTION[1].fp64_tc > PEAK_EVOLUTION[0].fp64_tc);
+        assert!(
+            PEAK_EVOLUTION[2].fp64_tc < PEAK_EVOLUTION[1].fp64_tc / 2.0,
+            "paper: Blackwell FP64 TC is less than half of Hopper"
+        );
+    }
+
+    #[test]
+    fn presets_have_distinct_archs() {
+        let devs = all_devices();
+        assert_eq!(devs.len(), 3);
+        assert_ne!(devs[0].arch, devs[1].arch);
+        assert_ne!(devs[1].arch, devs[2].arch);
+    }
+
+    #[test]
+    fn bandwidth_doubles_each_generation() {
+        let devs = all_devices();
+        assert!(devs[1].dram_bw_gbs > 2.0 * devs[0].dram_bw_gbs);
+        assert!(devs[2].dram_bw_gbs >= 2.0 * devs[1].dram_bw_gbs);
+    }
+}

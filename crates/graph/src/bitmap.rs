@@ -1,0 +1,192 @@
+//! The BerryBees bitmap block slice-set format.
+//!
+//! The adjacency matrix is tiled into 8-row × 128-column bit blocks — the
+//! exact operand shape of the single-bit `mma.m8n8k128` instruction. Only
+//! nonempty blocks ("slices") are stored, grouped per 8-row band
+//! (a "slice set"). A BFS iteration ANDs each slice against the matching
+//! 128-bit frontier segment via the bit MMA and ORs surviving rows into
+//! the next frontier.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr_graph::CsrGraph;
+
+/// Rows per block (MMA `m` dimension).
+pub const BLOCK_ROWS: usize = 8;
+/// Columns per block (MMA `k` dimension).
+pub const BLOCK_COLS: usize = 128;
+
+/// One 8×128 adjacency bit block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slice {
+    /// Which 128-column band this block covers.
+    pub col_block: u32,
+    /// The eight 128-bit row bitmaps.
+    pub rows: [u128; BLOCK_ROWS],
+}
+
+/// A graph stored as bitmap block slice sets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitmapGraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of 8-row bands.
+    pub row_blocks: usize,
+    /// Number of 128-column bands.
+    pub col_blocks: usize,
+    /// Slice-set offsets per row band, length `row_blocks + 1`.
+    pub offsets: Vec<usize>,
+    /// The nonempty slices, ordered by (row band, column band).
+    pub slices: Vec<Slice>,
+}
+
+impl BitmapGraph {
+    /// Build the slice-set representation from CSR adjacency. Row `r` of
+    /// the adjacency matrix holds the *in*-neighbour relationship used by
+    /// pull-style BFS: bit `c` of row `r` is set when arc `c → r` exists,
+    /// i.e. the structure is the transpose of the out-adjacency.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let n = g.n;
+        let row_blocks = n.div_ceil(BLOCK_ROWS);
+        let col_blocks = n.div_ceil(BLOCK_COLS);
+
+        // Collect (row_block, col_block, local_row, local_col) per arc of
+        // the transpose, then bucket into slices.
+        let mut keys: Vec<(u32, u32, u8, u8)> = Vec::with_capacity(g.num_arcs());
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                // arc u → v sets bit u in row v of the pull structure.
+                let (r, c) = (v as usize, u);
+                keys.push((
+                    (r / BLOCK_ROWS) as u32,
+                    (c / BLOCK_COLS) as u32,
+                    (r % BLOCK_ROWS) as u8,
+                    (c % BLOCK_COLS) as u8,
+                ));
+            }
+        }
+        keys.sort_unstable();
+
+        let mut offsets = vec![0usize; row_blocks + 1];
+        let mut slices: Vec<Slice> = Vec::new();
+        let mut current: Option<(u32, u32)> = None;
+        for (rb, cb, lr, lc) in keys {
+            if current != Some((rb, cb)) {
+                slices.push(Slice {
+                    col_block: cb,
+                    rows: [0u128; BLOCK_ROWS],
+                });
+                current = Some((rb, cb));
+            }
+            slices.last_mut().unwrap().rows[lr as usize] |= 1u128 << lc;
+            offsets[rb as usize + 1] = slices.len();
+        }
+        // Bands with no slices inherit the previous cumulative count.
+        for i in 1..=row_blocks {
+            offsets[i] = offsets[i].max(offsets[i - 1]);
+        }
+        Self {
+            n,
+            row_blocks,
+            col_blocks,
+            offsets,
+            slices,
+        }
+    }
+
+    /// Slices of one 8-row band.
+    pub fn band(&self, rb: usize) -> &[Slice] {
+        &self.slices[self.offsets[rb]..self.offsets[rb + 1]]
+    }
+
+    /// Number of stored slices.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total set bits (must equal the number of arcs).
+    pub fn num_bits(&self) -> usize {
+        self.slices
+            .iter()
+            .map(|s| s.rows.iter().map(|r| r.count_ones() as usize).sum::<usize>())
+            .sum()
+    }
+
+    /// Average fraction of set bits per stored slice — the bitmap
+    /// density that determines BFS memory efficiency.
+    pub fn slice_fill(&self) -> f64 {
+        if self.slices.is_empty() {
+            return 0.0;
+        }
+        self.num_bits() as f64 / (self.num_slices() * BLOCK_ROWS * BLOCK_COLS) as f64
+    }
+
+    /// Bytes occupied by the slice payloads (the low-memory-footprint
+    /// property Section 6.1 credits for BFS speedups).
+    pub fn payload_bytes(&self) -> usize {
+        self.num_slices() * (BLOCK_ROWS * BLOCK_COLS / 8 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bits_equal_arcs() {
+        let g = generators::rmat(1 << 10, 8 << 10, 0.45, 0.2, 0.2, 0.15, 42, true);
+        let b = BitmapGraph::from_graph(&g);
+        assert_eq!(b.num_bits(), g.num_arcs());
+    }
+
+    #[test]
+    fn pull_structure_is_transposed() {
+        let g = CsrGraph::from_edges(300, &[(5, 200)], false);
+        let b = BitmapGraph::from_graph(&g);
+        // arc 5 → 200 sets bit 5 of row 200: band 25, local row 0,
+        // col block 0, local col 5.
+        let band = b.band(200 / BLOCK_ROWS);
+        assert_eq!(band.len(), 1);
+        assert_eq!(band[0].col_block, 0);
+        assert_eq!(band[0].rows[0], 1u128 << 5);
+    }
+
+    #[test]
+    fn empty_bands_have_no_slices() {
+        let g = CsrGraph::from_edges(1000, &[(0, 1)], false);
+        let b = BitmapGraph::from_graph(&g);
+        assert_eq!(b.num_slices(), 1);
+        assert!(b.band(50).is_empty());
+        assert_eq!(b.band(0).len(), 1);
+    }
+
+    #[test]
+    fn dense_clique_fills_slices() {
+        let n = 128;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(n, &edges, false);
+        let b = BitmapGraph::from_graph(&g);
+        assert_eq!(b.num_slices(), n / BLOCK_ROWS); // one col block
+        assert!(b.slice_fill() > 0.99 - 1.0 / 128.0);
+    }
+
+    #[test]
+    fn slices_sorted_within_band() {
+        let g = generators::rmat(1 << 11, 16 << 11, 0.5, 0.2, 0.2, 0.1, 7, true);
+        let b = BitmapGraph::from_graph(&g);
+        for rb in 0..b.row_blocks {
+            let band = b.band(rb);
+            for w in band.windows(2) {
+                assert!(w[0].col_block < w[1].col_block, "band {rb} unsorted");
+            }
+        }
+    }
+}

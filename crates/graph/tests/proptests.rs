@@ -1,0 +1,107 @@
+//! Property-based tests of the graph substrate.
+
+use cubie_graph::bitmap::BitmapGraph;
+use cubie_graph::csr_graph::CsrGraph;
+use proptest::prelude::*;
+
+/// Arbitrary small graph as (n, edges, symmetrize).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, bool)> {
+    (2usize..300, any::<bool>()).prop_flat_map(|(n, sym)| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32),
+            0..600,
+        );
+        (Just(n), edges, Just(sym))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR adjacency is sorted, deduplicated and in bounds.
+    #[test]
+    fn csr_graph_well_formed((n, edges, sym) in arb_graph()) {
+        let g = CsrGraph::from_edges(n, &edges, sym);
+        prop_assert_eq!(g.offsets.len(), n + 1);
+        for v in 0..n {
+            let nb = g.neighbors(v);
+            for w in nb.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &u in nb {
+                prop_assert!((u as usize) < n);
+            }
+        }
+    }
+
+    /// Symmetrized graphs contain every reverse arc.
+    #[test]
+    fn symmetrize_creates_reverse_arcs((n, edges, _) in arb_graph()) {
+        let g = CsrGraph::from_edges(n, &edges, true);
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                if v as usize != u {
+                    prop_assert!(
+                        g.neighbors(v as usize).contains(&(u as u32)),
+                        "missing {}→{}",
+                        v,
+                        u
+                    );
+                }
+            }
+        }
+    }
+
+    /// BFS levels satisfy the defining property: level(v) = 1 + min
+    /// level over in-neighbours, and every edge spans ≤ 1 level.
+    #[test]
+    fn bfs_levels_are_consistent((n, edges, sym) in arb_graph(), src_pick in any::<prop::sample::Index>()) {
+        let g = CsrGraph::from_edges(n, &edges, sym);
+        let src = src_pick.index(n);
+        let level = g.bfs_serial(src);
+        prop_assert_eq!(level[src], 0);
+        for u in 0..n {
+            if level[u] < 0 {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                let lv = level[v as usize];
+                prop_assert!(lv >= 0, "reachable vertex unlabelled");
+                prop_assert!(lv <= level[u] + 1, "edge {}→{} spans >1 level", u, v);
+            }
+        }
+    }
+
+    /// The bitmap slice-set holds exactly the arcs of the graph.
+    #[test]
+    fn bitmap_preserves_arcs((n, edges, sym) in arb_graph()) {
+        let g = CsrGraph::from_edges(n, &edges, sym);
+        let b = BitmapGraph::from_graph(&g);
+        prop_assert_eq!(b.num_bits(), g.num_arcs());
+        // Spot-check: every arc u→v sets bit u of row v.
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                let band = b.band(v as usize / 8);
+                let cb = (u / 128) as u32;
+                let slice = band.iter().find(|s| s.col_block == cb);
+                prop_assert!(slice.is_some(), "missing slice for arc {}→{}", u, v);
+                let bit = slice.unwrap().rows[v as usize % 8] >> (u % 128) & 1;
+                prop_assert_eq!(bit, 1, "bit unset for arc {}→{}", u, v);
+            }
+        }
+    }
+
+    /// BFS-order relabelling preserves the degree sequence and the arc
+    /// count (it is a vertex permutation).
+    #[test]
+    fn relabel_preserves_structure((n, edges, _) in arb_graph()) {
+        let g = CsrGraph::from_edges(n, &edges, true);
+        let r = g.relabel_by_bfs_order();
+        prop_assert_eq!(r.num_arcs(), g.num_arcs());
+        let mut a: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+        let mut b: Vec<usize> = (0..n).map(|v| r.degree(v)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! # cubie-kernels
+//!
+//! The ten Cubie workloads (Table 2), each in up to four algorithmic
+//! variants (Section 5.2):
+//!
+//! * **Baseline** — the vendor-library-style vector-unit algorithm
+//!   (cuBLAS / cuSPARSE / cuFFT / CUB / Gunrock / DRStencil analogue).
+//! * **TC** — the tensor-core (MMU) algorithm: data reorganized into MMA
+//!   operand shapes, arithmetic issued as `m8n8k4` / `m8n8k128` MMAs.
+//! * **CC** — the same data structures and algorithm with every MMA
+//!   replaced by the equivalent CUDA-core instruction sequence
+//!   (bit-identical numerics to TC by construction).
+//! * **CC-E** — only the mathematically essential CUDA-core operations,
+//!   dropping the redundancy the MMA shape introduces (distinct from CC
+//!   only outside Quadrant I).
+//!
+//! Every variant offers **functional execution** (`run*` — computes the
+//! actual values the GPU algorithm would produce, on CPU threads, while
+//! counting operations) and an **analytic trace** (`trace*` — the same
+//! launch geometry and operation counts without touching data, so
+//! paper-scale problems can be timed by `cubie-sim` without being
+//! executed). Tests assert the two agree operation-for-operation, and
+//! that every variant matches its serial CPU ground truth.
+//!
+//! [`suite`] exposes the uniform registry (workloads × quadrants ×
+//! variants × Table 2 cases) the figure/table harnesses consume.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod common;
+pub mod fft;
+pub mod gemm;
+pub mod gemv;
+pub mod pic;
+pub mod reduction;
+pub mod scan;
+pub mod segmented;
+pub mod spgemm;
+pub mod spmv;
+pub mod stencil;
+pub mod suite;
+
+pub use common::{Quadrant, Variant};
+pub use suite::{PreparedCase, Workload, WorkloadSpec, all_workloads, prepare_cases};

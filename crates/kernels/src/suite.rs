@@ -1,0 +1,431 @@
+//! The Cubie suite registry: one uniform handle over the ten workloads,
+//! their Table 2 test cases, quadrants (Figure 2), baselines and Berkeley
+//! dwarfs (Table 7) — the entry point the figure/table harnesses use.
+
+use cubie_graph::csr_graph::CsrGraph;
+use cubie_graph::generators as graph_gen;
+use cubie_sim::WorkloadTrace;
+use cubie_sparse::Csr;
+use cubie_sparse::generators as sparse_gen;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{Quadrant, Variant};
+use crate::{bfs, fft, gemm, gemv, pic, reduction, scan, spgemm, spmv, stencil};
+
+/// The ten Cubie workloads, in the paper's Table 2 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Dense matrix–matrix multiplication.
+    Gemm,
+    /// Particle in cell.
+    Pic,
+    /// Fast Fourier transform.
+    Fft,
+    /// Structured-grid stencil.
+    Stencil,
+    /// Prefix sum.
+    Scan,
+    /// Array reduction.
+    Reduction,
+    /// Breadth-first search.
+    Bfs,
+    /// Dense matrix–vector multiplication.
+    Gemv,
+    /// Sparse matrix–vector multiplication.
+    Spmv,
+    /// Sparse matrix–matrix multiplication.
+    Spgemm,
+}
+
+/// Static description of a workload (Table 2 + Figure 2 + Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The workload.
+    pub workload: Workload,
+    /// Display name.
+    pub name: &'static str,
+    /// MMU utilization quadrant (Figure 2).
+    pub quadrant: Quadrant,
+    /// The comparison baseline of Table 2 (`None` for PiC).
+    pub baseline: Option<&'static str>,
+    /// Whether CC-E is a distinct variant (Quadrants II–IV) or equals CC
+    /// (Quadrant I, Section 5.2).
+    pub distinct_cce: bool,
+    /// Berkeley dwarf (Table 7).
+    pub dwarf: &'static str,
+    /// Unit of the reported throughput.
+    pub perf_unit: &'static str,
+}
+
+impl Workload {
+    /// All ten workloads in Table 2 order.
+    pub const ALL: [Workload; 10] = [
+        Workload::Gemm,
+        Workload::Pic,
+        Workload::Fft,
+        Workload::Stencil,
+        Workload::Scan,
+        Workload::Reduction,
+        Workload::Bfs,
+        Workload::Gemv,
+        Workload::Spmv,
+        Workload::Spgemm,
+    ];
+
+    /// Static spec of this workload.
+    pub fn spec(&self) -> WorkloadSpec {
+        match self {
+            Workload::Gemm => WorkloadSpec {
+                workload: *self,
+                name: "GEMM",
+                quadrant: Quadrant::I,
+                baseline: Some("cudaSample matrixMul"),
+                distinct_cce: false,
+                dwarf: "Dense linear algebra",
+                perf_unit: "GFLOP/s",
+            },
+            Workload::Pic => WorkloadSpec {
+                workload: *self,
+                name: "PiC",
+                quadrant: Quadrant::I,
+                baseline: None,
+                distinct_cce: false,
+                dwarf: "N-Body",
+                perf_unit: "Mpush/s",
+            },
+            Workload::Fft => WorkloadSpec {
+                workload: *self,
+                name: "FFT",
+                quadrant: Quadrant::I,
+                baseline: Some("cuFFT"),
+                distinct_cce: false,
+                dwarf: "Spectral methods",
+                perf_unit: "GFLOP/s",
+            },
+            Workload::Stencil => WorkloadSpec {
+                workload: *self,
+                name: "Stencil",
+                quadrant: Quadrant::I,
+                baseline: Some("DRStencil"),
+                distinct_cce: false,
+                dwarf: "Structured grids",
+                perf_unit: "Gpoint/s",
+            },
+            Workload::Scan => WorkloadSpec {
+                workload: *self,
+                name: "Scan",
+                quadrant: Quadrant::II,
+                baseline: Some("CUB BlockScan"),
+                distinct_cce: true,
+                dwarf: "MapReduce",
+                perf_unit: "Gelem/s",
+            },
+            Workload::Reduction => WorkloadSpec {
+                workload: *self,
+                name: "Reduction",
+                quadrant: Quadrant::III,
+                baseline: Some("CUB BlockReduce"),
+                distinct_cce: true,
+                dwarf: "MapReduce",
+                perf_unit: "Gelem/s",
+            },
+            Workload::Bfs => WorkloadSpec {
+                workload: *self,
+                name: "BFS",
+                quadrant: Quadrant::IV,
+                baseline: Some("Gunrock"),
+                distinct_cce: true,
+                dwarf: "Graph traversal",
+                perf_unit: "GTEPS",
+            },
+            Workload::Gemv => WorkloadSpec {
+                workload: *self,
+                name: "GEMV",
+                quadrant: Quadrant::IV,
+                baseline: Some("cuBLAS GEMV"),
+                distinct_cce: true,
+                dwarf: "Dense linear algebra",
+                perf_unit: "GFLOP/s",
+            },
+            Workload::Spmv => WorkloadSpec {
+                workload: *self,
+                name: "SpMV",
+                quadrant: Quadrant::IV,
+                baseline: Some("cuSPARSE SpMV"),
+                distinct_cce: true,
+                dwarf: "Sparse linear algebra",
+                perf_unit: "GFLOP/s",
+            },
+            Workload::Spgemm => WorkloadSpec {
+                workload: *self,
+                name: "SpGEMM",
+                quadrant: Quadrant::IV,
+                baseline: Some("cuSPARSE SpGEMM"),
+                distinct_cce: true,
+                dwarf: "Sparse linear algebra",
+                perf_unit: "GFLOP/s",
+            },
+        }
+    }
+
+    /// The variants the paper evaluates for this workload: PiC has no
+    /// baseline; Quadrant I folds CC-E into CC.
+    pub fn variants(&self) -> Vec<Variant> {
+        let spec = self.spec();
+        let mut v = Vec::new();
+        if spec.baseline.is_some() {
+            v.push(Variant::Baseline);
+        }
+        v.push(Variant::Tc);
+        v.push(Variant::Cc);
+        if spec.distinct_cce {
+            v.push(Variant::CcE);
+        }
+        v
+    }
+}
+
+/// All workload specs in Table 2 order.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    Workload::ALL.iter().map(|w| w.spec()).collect()
+}
+
+/// A prepared test case: parameters plus any generated inputs, ready to
+/// trace (and, at affordable sizes, to execute functionally).
+pub enum PreparedCase {
+    /// GEMM case.
+    Gemm(gemm::GemmCase),
+    /// GEMV case.
+    Gemv(gemv::GemvCase),
+    /// FFT case.
+    Fft(fft::FftCase),
+    /// Stencil case.
+    Stencil(stencil::StencilCase),
+    /// Scan case.
+    Scan(scan::ScanCase),
+    /// Reduction case.
+    Reduction(reduction::ReductionCase),
+    /// PiC case.
+    Pic(pic::PicCase),
+    /// SpMV case with its generated matrix.
+    Spmv {
+        /// Table 4 metadata.
+        info: sparse_gen::MatrixInfo,
+        /// The generated matrix.
+        matrix: Box<Csr>,
+    },
+    /// SpGEMM case with its generated matrix.
+    Spgemm {
+        /// Table 4 metadata.
+        info: sparse_gen::MatrixInfo,
+        /// The generated matrix.
+        matrix: Box<Csr>,
+    },
+    /// BFS case with its generated graph.
+    Bfs {
+        /// Table 3 metadata.
+        info: graph_gen::GraphInfo,
+        /// The generated graph.
+        graph: Box<CsrGraph>,
+        /// BFS source vertex.
+        source: usize,
+    },
+}
+
+impl PreparedCase {
+    /// Case label (x-axis of Figure 3).
+    pub fn label(&self) -> String {
+        match self {
+            PreparedCase::Gemm(c) => c.label(),
+            PreparedCase::Gemv(c) => c.label(),
+            PreparedCase::Fft(c) => c.label(),
+            PreparedCase::Stencil(c) => c.label(),
+            PreparedCase::Scan(c) => c.label(),
+            PreparedCase::Reduction(c) => c.label(),
+            PreparedCase::Pic(c) => c.label(),
+            PreparedCase::Spmv { info, .. } | PreparedCase::Spgemm { info, .. } => {
+                info.name.to_string()
+            }
+            PreparedCase::Bfs { info, .. } => info.name.to_string(),
+        }
+    }
+
+    /// Useful work of one execution, in the workload's unit basis
+    /// (FLOPs, points, elements, edges, pushes).
+    pub fn useful_work(&self) -> f64 {
+        match self {
+            PreparedCase::Gemm(c) => c.useful_flops(),
+            PreparedCase::Gemv(c) => c.useful_flops(),
+            PreparedCase::Fft(c) => c.useful_flops(),
+            PreparedCase::Stencil(c) => c.points() as f64,
+            PreparedCase::Scan(c) => c.useful_flops(),
+            PreparedCase::Reduction(c) => c.useful_flops(),
+            PreparedCase::Pic(c) => (c.n * pic::SUBSTEPS) as f64,
+            PreparedCase::Spmv { matrix, .. } => spmv::useful_flops(matrix),
+            PreparedCase::Spgemm { matrix, .. } => spgemm::useful_flops(matrix),
+            PreparedCase::Bfs { graph, .. } => bfs::useful_edges(graph),
+        }
+    }
+
+    /// The analytic trace of one variant, or `None` when the paper does
+    /// not evaluate that variant (PiC baseline).
+    pub fn trace(&self, variant: Variant) -> Option<WorkloadTrace> {
+        match self {
+            PreparedCase::Pic(_) if variant == Variant::Baseline => return None,
+            _ => {}
+        }
+        Some(match self {
+            PreparedCase::Gemm(c) => gemm::trace(c, variant),
+            PreparedCase::Gemv(c) => gemv::trace(c, variant),
+            PreparedCase::Fft(c) => fft::trace(c, variant),
+            PreparedCase::Stencil(c) => stencil::trace(c, variant),
+            PreparedCase::Scan(c) => scan::trace(c, variant),
+            PreparedCase::Reduction(c) => reduction::trace(c, variant),
+            PreparedCase::Pic(c) => pic::trace(c, variant),
+            PreparedCase::Spmv { matrix, .. } => spmv::trace(matrix, variant),
+            PreparedCase::Spgemm { matrix, .. } => spgemm::trace(matrix, variant),
+            PreparedCase::Bfs { graph, source, .. } => bfs::trace(graph, *source, variant),
+        })
+    }
+}
+
+/// Prepare the five Table 2 test cases of a workload.
+///
+/// `sparse_scale` / `graph_scale` divide the sparse-matrix and graph
+/// sizes (1 = full published sizes; graphs at scale 1 need several GB).
+pub fn prepare_cases(w: Workload, sparse_scale: usize, graph_scale: usize) -> Vec<PreparedCase> {
+    match w {
+        Workload::Gemm => gemm::GemmCase::cases().into_iter().map(PreparedCase::Gemm).collect(),
+        Workload::Gemv => gemv::GemvCase::cases().into_iter().map(PreparedCase::Gemv).collect(),
+        Workload::Fft => fft::FftCase::cases().into_iter().map(PreparedCase::Fft).collect(),
+        Workload::Stencil => stencil::StencilCase::cases()
+            .into_iter()
+            .map(PreparedCase::Stencil)
+            .collect(),
+        Workload::Scan => scan::ScanCase::cases().into_iter().map(PreparedCase::Scan).collect(),
+        Workload::Reduction => reduction::ReductionCase::cases()
+            .into_iter()
+            .map(PreparedCase::Reduction)
+            .collect(),
+        Workload::Pic => pic::PicCase::cases().into_iter().map(PreparedCase::Pic).collect(),
+        Workload::Spmv => sparse_gen::table4_matrices(sparse_scale)
+            .into_iter()
+            .map(|(info, m)| PreparedCase::Spmv {
+                info,
+                matrix: Box::new(m),
+            })
+            .collect(),
+        Workload::Spgemm => sparse_gen::table4_matrices(sparse_scale)
+            .into_iter()
+            .map(|(info, m)| PreparedCase::Spgemm {
+                info,
+                matrix: Box::new(m),
+            })
+            .collect(),
+        Workload::Bfs => graph_gen::table3_graphs(graph_scale)
+            .into_iter()
+            .map(|(info, g)| {
+                let source = g.max_degree_vertex();
+                PreparedCase::Bfs {
+                    info,
+                    graph: Box::new(g),
+                    source,
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_workloads() {
+        assert_eq!(Workload::ALL.len(), 10);
+        assert_eq!(all_workloads().len(), 10);
+    }
+
+    #[test]
+    fn quadrant_membership_matches_figure2() {
+        use Quadrant::*;
+        let expect = [
+            (Workload::Gemm, I),
+            (Workload::Pic, I),
+            (Workload::Fft, I),
+            (Workload::Stencil, I),
+            (Workload::Scan, II),
+            (Workload::Reduction, III),
+            (Workload::Bfs, IV),
+            (Workload::Gemv, IV),
+            (Workload::Spmv, IV),
+            (Workload::Spgemm, IV),
+        ];
+        for (w, q) in expect {
+            assert_eq!(w.spec().quadrant, q, "{:?}", w);
+        }
+    }
+
+    #[test]
+    fn pic_has_no_baseline() {
+        assert!(Workload::Pic.spec().baseline.is_none());
+        assert!(!Workload::Pic.variants().contains(&Variant::Baseline));
+        for w in Workload::ALL {
+            if w != Workload::Pic {
+                assert!(w.variants().contains(&Variant::Baseline), "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_one_has_no_distinct_cce() {
+        for w in Workload::ALL {
+            let s = w.spec();
+            assert_eq!(
+                s.distinct_cce,
+                s.quadrant != Quadrant::I,
+                "{w:?}: CC-E is distinct exactly outside Quadrant I"
+            );
+        }
+    }
+
+    #[test]
+    fn dwarf_coverage_matches_table7() {
+        // Cubie covers 7 dwarfs: dense LA (2 workloads), sparse LA (2),
+        // spectral (1), N-Body (1), structured grids (1), MapReduce (2),
+        // graph traversal (1).
+        let mut by_dwarf = std::collections::HashMap::new();
+        for w in Workload::ALL {
+            *by_dwarf.entry(w.spec().dwarf).or_insert(0) += 1;
+        }
+        assert_eq!(by_dwarf.len(), 7);
+        assert_eq!(by_dwarf["Dense linear algebra"], 2);
+        assert_eq!(by_dwarf["Sparse linear algebra"], 2);
+        assert_eq!(by_dwarf["MapReduce"], 2);
+    }
+
+    #[test]
+    fn every_workload_prepares_five_cases() {
+        for w in Workload::ALL {
+            let cases = prepare_cases(w, 64, 512);
+            assert_eq!(cases.len(), 5, "{w:?}");
+            for c in &cases {
+                assert!(c.useful_work() > 0.0, "{w:?} {}", c.label());
+            }
+        }
+    }
+
+    #[test]
+    fn traces_exist_for_every_evaluated_variant() {
+        for w in [Workload::Gemm, Workload::Scan, Workload::Spmv] {
+            let cases = prepare_cases(w, 64, 512);
+            for v in w.variants() {
+                assert!(cases[0].trace(v).is_some(), "{w:?} {v}");
+            }
+        }
+        // PiC baseline is explicitly absent.
+        let pic_case = &prepare_cases(Workload::Pic, 1, 1)[0];
+        assert!(pic_case.trace(Variant::Baseline).is_none());
+        assert!(pic_case.trace(Variant::Tc).is_some());
+    }
+}

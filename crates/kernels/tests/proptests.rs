@@ -1,0 +1,123 @@
+//! Property-based tests of the workload implementations: every variant
+//! must agree with its serial reference on arbitrary inputs, and TC must
+//! be bit-identical to CC everywhere.
+
+use cubie_core::{C64, ErrorStats};
+use cubie_kernels::{Variant, bfs, fft, gemv, reduction, scan, spmv};
+use cubie_sparse::{Coo, Csr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scan: all variants agree with the running sum for arbitrary
+    /// lengths and values.
+    #[test]
+    fn scan_all_variants(xs in proptest::collection::vec(-100.0..100.0f64, 1..1500)) {
+        let gold = scan::reference(&xs);
+        let scale = xs.iter().fold(1.0f64, |a, v| a.max(v.abs())) * xs.len() as f64;
+        for v in Variant::ALL {
+            let (y, _) = scan::run(&xs, v);
+            let e = ErrorStats::compare(&y, &gold);
+            prop_assert!(e.max <= 1e-12 * scale, "{v}: {}", e.max);
+        }
+        let (tc, _) = scan::run(&xs, Variant::Tc);
+        let (cc, _) = scan::run(&xs, Variant::Cc);
+        prop_assert_eq!(tc, cc);
+    }
+
+    /// Reduction: all variants agree with the serial sum.
+    #[test]
+    fn reduction_all_variants(xs in proptest::collection::vec(-100.0..100.0f64, 1..1500)) {
+        let gold = reduction::reference(&xs);
+        let scale = xs.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        for v in Variant::ALL {
+            let (s, _) = reduction::run(&xs, v);
+            prop_assert!((s - gold).abs() <= 1e-12 * scale, "{v}: {s} vs {gold}");
+        }
+    }
+
+    /// GEMV: all variants agree with the dense mat-vec for arbitrary
+    /// tall-skinny shapes.
+    #[test]
+    fn gemv_all_variants(m in 1usize..200, n in 1usize..40, seed in 0u64..500) {
+        let a = cubie_core::DenseMatrix::random(m, n, seed + 1);
+        let x = cubie_core::LcgF64::new(seed + 7).vec(n);
+        let gold = gemv::reference(&a, &x);
+        for v in Variant::ALL {
+            let (y, _) = gemv::run(&a, &x, v);
+            let e = ErrorStats::compare(&y, &gold);
+            prop_assert!(e.max < 1e-11 * n as f64, "{v}: {}", e.max);
+        }
+    }
+
+    /// SpMV: all variants agree with serial CSR on random sparse
+    /// matrices, and the trace op counts match the built format.
+    #[test]
+    fn spmv_all_variants(
+        rows in 1usize..120,
+        cols in 1usize..120,
+        entries in proptest::collection::vec((0usize..120, 0usize..120, -5.0..5.0f64), 0..400),
+    ) {
+        let mut coo = Coo::new(rows, cols);
+        for (r, c, v) in entries {
+            if r < rows && c < cols {
+                coo.push(r, c, v);
+            }
+        }
+        let m = Csr::from_coo(coo);
+        let x = spmv::input_vector(&m);
+        let gold = spmv::reference(&m, &x);
+        for v in Variant::ALL {
+            let (y, _) = spmv::run(&m, &x, v);
+            let e = ErrorStats::compare(&y, &gold);
+            prop_assert!(e.max < 1e-10, "{v}: {}", e.max);
+        }
+        let fmt = spmv::DaspFormat::from_csr(&m);
+        let t = spmv::trace(&m, Variant::Tc);
+        prop_assert_eq!(t.total_ops().mma_f64, fmt.total_steps());
+    }
+
+    /// FFT: the batched tensor-core transform matches the naive DFT for
+    /// any power-of-two length and batch size.
+    #[test]
+    fn fft_matches_dft(log_n in 1u32..8, batch in 1usize..10, seed in 0u64..500) {
+        let n = 1usize << log_n;
+        let mut g = cubie_core::LcgF64::new(seed + 3);
+        let xs: Vec<Vec<C64>> = (0..batch)
+            .map(|_| (0..n).map(|_| C64::new(g.next_f64(), g.next_f64())).collect())
+            .collect();
+        for v in [Variant::Baseline, Variant::Tc] {
+            let mut got = xs.clone();
+            fft::fft1d_batch(&mut got, v);
+            for (x, orig) in got.iter().zip(&xs) {
+                let gold = fft::dft_naive(orig);
+                let e = ErrorStats::compare_c64(x, &gold);
+                prop_assert!(e.max < 1e-9 * n as f64, "{v} n={n}: {}", e.max);
+            }
+        }
+    }
+
+    /// BFS: every variant reproduces serial levels exactly on random
+    /// graphs, and the trace issues one launch per level (+1 final).
+    #[test]
+    fn bfs_all_variants(
+        n in 2usize..256,
+        edges in proptest::collection::vec((0u32..256, 0u32..256), 0..800),
+        sym in any::<bool>(),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .filter(|(u, v)| (*u as usize) < n && (*v as usize) < n)
+            .collect();
+        let g = cubie_graph::CsrGraph::from_edges(n, &edges, sym);
+        let src = g.max_degree_vertex();
+        let gold = bfs::reference(&g, src);
+        let depth = *gold.iter().max().unwrap();
+        for v in Variant::ALL {
+            let (levels, trace) = bfs::run(&g, src, v);
+            prop_assert_eq!(&levels, &gold, "{}", v);
+            prop_assert_eq!(trace.launches(), depth.max(0) as usize + 1, "{}", v);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # cubie-sim
+//!
+//! The analytic GPU performance, power and roofline models that stand in
+//! for the paper's physical A100 / H200 / B200 measurements.
+//!
+//! A kernel variant in `cubie-kernels` describes each of its launches as a
+//! [`trace::KernelTrace`] — launch geometry plus per-block operation
+//! counters. This crate turns a trace into:
+//!
+//! * [`timing`] — simulated execution time via an occupancy-aware
+//!   wave/roofline model: each hardware pipe (FP64 tensor core, FP64 CUDA
+//!   core, integer, bit-MMA, load/store, DRAM) gets an aggregate service
+//!   time; pipes overlap, so the kernel time is the maximum, degraded by
+//!   latency-hiding (occupancy) and grid-fill factors and increased by
+//!   launch overhead.
+//! * [`power`] — utilization-weighted power, energy and energy-delay
+//!   product (EDP, the paper's `avg power × time²`), plus smoothed
+//!   power-versus-time traces like Figure 8.
+//! * [`roofline`] — the cache-aware roofline model of Figure 9: DRAM and
+//!   L1 bandwidth ceilings, tensor-core and CUDA-core compute ceilings,
+//!   and placement of measured kernels in (arithmetic intensity,
+//!   performance) space.
+//!
+//! [`microsim`] additionally provides a cycle-level single-SM warp
+//! scheduler used to *validate* the analytic latency estimates for the
+//! single-block kernels.
+//!
+//! The model is deliberately analytic rather than cycle-accurate: the
+//! paper's conclusions rest on *which* pipe limits a kernel and by what
+//! factor, which an instruction-mix × peak-throughput model captures,
+//! while absolute times are not claimed (see DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod microsim;
+pub mod occupancy;
+pub mod power;
+pub mod roofline;
+pub mod timing;
+pub mod trace;
+
+pub use occupancy::Occupancy;
+pub use power::{EnergyReport, PowerSample, power_report, power_trace};
+pub use roofline::{Roofline, RooflinePoint};
+pub use timing::{KernelTiming, Limiter, PipeTimes, WorkloadTiming, time_kernel, time_workload};
+pub use trace::{KernelTrace, WorkloadTrace, latency};

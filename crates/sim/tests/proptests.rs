@@ -1,0 +1,130 @@
+//! Property-based tests of the timing and power models: monotonicity and
+//! sanity invariants that must hold for ANY trace.
+
+use cubie_core::OpCounters;
+use cubie_core::counters::MemTraffic;
+use cubie_device::{a100, b200, h200};
+use cubie_sim::{KernelTrace, WorkloadTrace, power_report, time_kernel, time_workload};
+use proptest::prelude::*;
+
+fn arb_ops() -> impl Strategy<Value = OpCounters> {
+    (
+        0u64..1 << 24,
+        0u64..1 << 26,
+        0u64..1 << 30,
+        0u64..1 << 30,
+        0u64..1 << 28,
+        0u64..1 << 20,
+    )
+        .prop_map(|(mma, fma, co, ra, smem, int)| OpCounters {
+            mma_f64: mma,
+            fma_f64: fma,
+            int_ops: int,
+            gmem_load: MemTraffic {
+                coalesced: co,
+                strided: 0,
+                random: ra,
+            },
+            smem_bytes: smem,
+            ..Default::default()
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = KernelTrace> {
+    (arb_ops(), 1u64..1 << 20, prop_oneof![Just(32u32), Just(128), Just(256), Just(1024)], 0f64..1e6)
+        .prop_map(|(ops, blocks, threads, crit)| {
+            KernelTrace::new("p", blocks, threads, 4096, ops, crit)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Times are finite, positive, and at least the launch overhead.
+    #[test]
+    fn time_is_sane(t in arb_trace()) {
+        for d in [a100(), h200(), b200()] {
+            let k = time_kernel(&d, &t);
+            prop_assert!(k.time_s.is_finite());
+            prop_assert!(k.time_s >= d.launch_overhead_s());
+            prop_assert!(k.exec_s >= 0.0);
+        }
+    }
+
+    /// Adding work never makes a kernel faster.
+    #[test]
+    fn more_work_never_faster(t in arb_trace(), extra_mma in 0u64..1 << 22, extra_bytes in 0u64..1 << 28) {
+        let d = h200();
+        let base = time_kernel(&d, &t).time_s;
+        let mut bigger = t.clone();
+        bigger.ops.mma_f64 += extra_mma;
+        bigger.ops.gmem_load.coalesced += extra_bytes;
+        prop_assert!(time_kernel(&d, &bigger).time_s >= base - 1e-15);
+    }
+
+    /// A device with uniformly higher peaks is never slower (H200
+    /// dominates A100 in every throughput dimension).
+    #[test]
+    fn faster_device_never_slower(t in arb_trace()) {
+        let slow = time_kernel(&a100(), &t).time_s;
+        let fast = time_kernel(&h200(), &t).time_s;
+        prop_assert!(fast <= slow * 1.001, "fast {fast} vs slow {slow}");
+    }
+
+    /// Workload time is the sum of its kernels' times.
+    #[test]
+    fn workload_time_is_additive(ts in proptest::collection::vec(arb_trace(), 1..6)) {
+        let d = b200();
+        let w = WorkloadTrace { kernels: ts.clone() };
+        let total = time_workload(&d, &w).total_s;
+        let sum: f64 = ts.iter().map(|t| time_kernel(&d, t).time_s).sum();
+        prop_assert!((total - sum).abs() < 1e-12 * sum.max(1.0));
+    }
+
+    /// Power stays within [idle, TDP]; energy and EDP follow their
+    /// definitions.
+    #[test]
+    fn power_is_bounded(t in arb_trace(), repeats in 1u64..1000) {
+        let d = h200();
+        let timing = time_workload(&d, &WorkloadTrace::single(t));
+        let r = power_report(&d, &timing, repeats);
+        prop_assert!(r.avg_power_w >= d.power.idle_w - 1e-9);
+        prop_assert!(r.avg_power_w <= d.power.tdp_w + 1e-9);
+        prop_assert!((r.energy_j - r.avg_power_w * r.time_s).abs() < 1e-6 * r.energy_j.max(1.0));
+        prop_assert!((r.edp - r.energy_j * r.time_s).abs() < 1e-6 * r.edp.max(1.0));
+    }
+
+    /// Utilizations are fractions for any trace.
+    #[test]
+    fn utils_are_fractions(t in arb_trace()) {
+        let d = a100();
+        let k = time_kernel(&d, &t);
+        for u in [k.tc_util(), k.cc_util(), k.b1_util(), k.mem_util(), k.l1_util()] {
+            prop_assert!((0.0..=1.0).contains(&u), "util {u}");
+        }
+    }
+
+    /// Degrading coalescing never speeds a kernel up.
+    #[test]
+    fn coalescing_ordering(t in arb_trace()) {
+        let d = h200();
+        let bytes = t.ops.gmem_load.coalesced;
+        let mut strided = t.clone();
+        strided.ops.gmem_load = MemTraffic {
+            coalesced: 0,
+            strided: bytes,
+            random: t.ops.gmem_load.random,
+        };
+        let mut random = t.clone();
+        random.ops.gmem_load = MemTraffic {
+            coalesced: 0,
+            strided: 0,
+            random: bytes + t.ops.gmem_load.random,
+        };
+        let t0 = time_kernel(&d, &t).time_s;
+        let t1 = time_kernel(&d, &strided).time_s;
+        let t2 = time_kernel(&d, &random).time_s;
+        prop_assert!(t1 >= t0 - 1e-15);
+        prop_assert!(t2 >= t1 - 1e-15);
+    }
+}

@@ -1,0 +1,229 @@
+//! Compressed sparse row storage and the serial reference kernels that
+//! serve as the paper's CPU ground truth (Section 8: "a naive CPU serial
+//! implementation (e.g., CSR-based SpMV)").
+
+use serde::{Deserialize, Serialize};
+
+use crate::coo::Coo;
+
+/// A CSR sparse matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row pointer array, length `rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column indices, length `nnz`.
+    pub col_idx: Vec<u32>,
+    /// Values, length `nnz`.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// An empty matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Build from (sorted, deduplicated) COO triplets.
+    pub fn from_coo(mut coo: Coo) -> Self {
+        coo.sort_dedup();
+        let mut row_ptr = vec![0usize; coo.rows + 1];
+        for &r in &coo.row_idx {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..coo.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Self {
+            rows: coo.rows,
+            cols: coo.cols,
+            row_ptr,
+            col_idx: coo.col_idx,
+            vals: coo.vals,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Nonzero count of row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[s..e], &self.vals[s..e])
+    }
+
+    /// Serial CSR SpMV — the CPU ground truth: per row, ascending-column
+    /// accumulation with separate multiply and add.
+    pub fn spmv_naive(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0f64; self.rows];
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0f64;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Serial row-wise SpGEMM (`C = A · B`) — the CPU ground truth for
+    /// the SpGEMM workload. Uses a dense accumulator per row.
+    pub fn spgemm_naive(&self, b: &Csr) -> Csr {
+        assert_eq!(self.cols, b.rows, "inner dimensions must agree");
+        let mut acc = vec![0.0f64; b.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut out = Coo::new(self.rows, b.cols);
+        for r in 0..self.rows {
+            touched.clear();
+            let (acols, avals) = self.row(r);
+            for (ac, av) in acols.iter().zip(avals) {
+                let (bcols, bvals) = b.row(*ac as usize);
+                for (bc, bv) in bcols.iter().zip(bvals) {
+                    if acc[*bc as usize] == 0.0 && !touched.contains(bc) {
+                        touched.push(*bc);
+                    }
+                    acc[*bc as usize] += av * bv;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                out.push(r, c as usize, acc[c as usize]);
+                acc[c as usize] = 0.0;
+            }
+        }
+        Csr::from_coo(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Csr {
+        let mut coo = Coo::new(self.cols, self.rows);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                coo.push(*c as usize, r, *v);
+            }
+        }
+        Csr::from_coo(coo)
+    }
+
+    /// Dense row-major expansion (for small test matrices).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.rows * self.cols];
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                d[r * self.cols + *c as usize] = *v;
+            }
+        }
+        d
+    }
+
+    /// Average nonzeros per row.
+    pub fn avg_row_nnz(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.rows as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 0, 4.0);
+        coo.push(2, 2, 5.0);
+        Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn from_coo_builds_row_ptr() {
+        let m = small();
+        assert_eq!(m.row_ptr, vec![0, 2, 3, 5]);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.row_nnz(0), 2);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = m.spmv_naive(&x);
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn spgemm_identity() {
+        let m = small();
+        let mut id = Coo::new(3, 3);
+        for i in 0..3 {
+            id.push(i, i, 1.0);
+        }
+        let id = Csr::from_coo(id);
+        let p = m.spgemm_naive(&id);
+        assert_eq!(p.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn spgemm_matches_dense_product() {
+        let a = small();
+        let b = a.transpose();
+        let p = a.spgemm_naive(&b);
+        // dense check
+        let (da, db) = (a.to_dense(), b.to_dense());
+        let mut expect = vec![0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    expect[i * 3 + j] += da[i * 3 + k] * db[k * 3 + j];
+                }
+            }
+        }
+        let got = p.to_dense();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = small();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn empty_matrix_spmv() {
+        let m = Csr::empty(4, 4);
+        let y = m.spmv_naive(&[1.0; 4]);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+}

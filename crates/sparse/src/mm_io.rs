@@ -1,0 +1,224 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! Supports the subset SuiteSparse uses for the Table 4 matrices:
+//! `%%MatrixMarket matrix coordinate (real|integer|pattern)
+//! (general|symmetric)`. Pattern entries get value 1.0; symmetric files
+//! are expanded to full storage (mirroring off-diagonal entries), which is
+//! what the SpMV/SpGEMM kernels consume.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// Errors from MatrixMarket parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a description.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "MatrixMarket parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a MatrixMarket coordinate file from any buffered reader.
+pub fn read_matrix<R: BufRead>(mut reader: R) -> Result<Csr, MmError> {
+    let mut header = String::new();
+    reader.read_line(&mut header)?;
+    let h: Vec<&str> = header.split_whitespace().collect();
+    if h.len() < 5 || !h[0].starts_with("%%MatrixMarket") {
+        return Err(parse_err("missing %%MatrixMarket header"));
+    }
+    if !h[1].eq_ignore_ascii_case("matrix") || !h[2].eq_ignore_ascii_case("coordinate") {
+        return Err(parse_err("only `matrix coordinate` files are supported"));
+    }
+    let field = h[3].to_ascii_lowercase();
+    let symmetry = h[4].to_ascii_lowercase();
+    let pattern = match field.as_str() {
+        "real" | "integer" | "double" => false,
+        "pattern" => true,
+        other => return Err(parse_err(format!("unsupported field type `{other}`"))),
+    };
+    let symmetric = match symmetry.as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(format!("unsupported symmetry `{other}`"))),
+    };
+
+    let mut line = String::new();
+    // Skip comments.
+    let dims = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(parse_err("unexpected EOF before size line"));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        break t.to_string();
+    };
+    let mut it = dims.split_whitespace();
+    let rows: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad row count"))?;
+    let cols: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad column count"))?;
+    let nnz: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad nnz count"))?;
+
+    let mut coo = Coo::new(rows, cols);
+    let mut read = 0usize;
+    while read < nnz {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(parse_err(format!("EOF after {read} of {nnz} entries")));
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad row index"))?;
+        let c: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad col index"))?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(parse_err(format!("entry ({r},{c}) out of 1-based bounds")));
+        }
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err("bad value"))?
+        };
+        coo.push(r - 1, c - 1, v);
+        if symmetric && r != c {
+            coo.push(c - 1, r - 1, v);
+        }
+        read += 1;
+    }
+    Ok(Csr::from_coo(coo))
+}
+
+/// Read a MatrixMarket file from disk.
+pub fn read_matrix_file(path: impl AsRef<Path>) -> Result<Csr, MmError> {
+    let file = std::fs::File::open(path)?;
+    read_matrix(std::io::BufReader::new(file))
+}
+
+/// Write a CSR matrix as `matrix coordinate real general`.
+pub fn write_matrix<W: Write>(m: &Csr, writer: W) -> Result<(), MmError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.rows, m.cols, m.nnz())?;
+    for r in 0..m.rows {
+        let (cols, vals) = m.row(r);
+        for (c, v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:.17e}", r + 1, *c + 1, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 2\n\
+                    1 1 1.5\n\
+                    3 2 -2.0\n";
+        let m = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(m.rows, 3);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0).1, &[1.5]);
+        assert_eq!(m.row(2).0, &[1]);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 1.0\n\
+                    2 1 5.0\n";
+        let m = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0).0, &[0, 1]);
+        assert_eq!(m.row(0).1, &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn parse_pattern_gets_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 1\n\
+                    2 2\n";
+        let m = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(m.row(1).1, &[1.0]);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let mut coo = crate::coo::Coo::new(4, 3);
+        coo.push(0, 0, 1.25);
+        coo.push(3, 2, -0.5);
+        coo.push(1, 1, 1e-30);
+        let m = Csr::from_coo(coo);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let m2 = read_matrix(buf.as_slice()).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix("nonsense\n1 1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Reverse Cuthill–McKee (RCM) reordering — the classic bandwidth-
+//! reducing permutation. Exposed as a substrate utility: blocked MMU
+//! formats (mBSR, DASP bundles) fill better on low-bandwidth orderings,
+//! so users bringing their own matrices can pre-condition them the same
+//! way SuiteSparse's FEM matrices already are.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// Compute the RCM permutation of the *symmetrized* pattern of `m`:
+/// `perm[new] = old`.
+pub fn rcm_permutation(m: &Csr) -> Vec<u32> {
+    let n = m.rows;
+    // Symmetrized adjacency (pattern only).
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for r in 0..n {
+        for &c in m.row(r).0 {
+            let c = c as usize;
+            if c < n && c != r {
+                adj[r].push(c as u32);
+                adj[c].push(r as u32);
+            }
+        }
+    }
+    for a in adj.iter_mut() {
+        a.sort_unstable();
+        a.dedup();
+    }
+    let deg = |v: usize| adj[v].len();
+
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    // Process every connected component, starting from a minimal-degree
+    // vertex (the George–Liu pseudo-peripheral heuristic simplified).
+    let mut seeds: Vec<u32> = (0..n as u32).collect();
+    seeds.sort_by_key(|&v| deg(v as usize));
+    for &seed in &seeds {
+        if visited[seed as usize] {
+            continue;
+        }
+        visited[seed as usize] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            // Neighbours in ascending degree order (Cuthill–McKee).
+            let mut nb: Vec<u32> = adj[u as usize]
+                .iter()
+                .copied()
+                .filter(|&v| !visited[v as usize])
+                .collect();
+            nb.sort_by_key(|&v| deg(v as usize));
+            for v in nb {
+                visited[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order.reverse(); // the "reverse" in RCM
+    order
+}
+
+/// Apply a permutation symmetrically: `out[i][j] = m[perm[i]][perm[j]]`.
+pub fn permute_symmetric(m: &Csr, perm: &[u32]) -> Csr {
+    assert_eq!(perm.len(), m.rows);
+    assert_eq!(m.rows, m.cols, "symmetric permutation needs a square matrix");
+    let mut inv = vec![0u32; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old as usize] = new as u32;
+    }
+    let mut coo = Coo::new(m.rows, m.cols);
+    for r in 0..m.rows {
+        let (cols, vals) = m.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo.push(inv[r] as usize, inv[c as usize] as usize, v);
+        }
+    }
+    Csr::from_coo(coo)
+}
+
+/// RCM-reorder a square matrix (permutation + symmetric application).
+pub fn rcm(m: &Csr) -> Csr {
+    permute_symmetric(m, &rcm_permutation(m))
+}
+
+/// Matrix bandwidth: `max |i - j|` over stored entries.
+pub fn bandwidth(m: &Csr) -> usize {
+    let mut bw = 0usize;
+    for r in 0..m.rows {
+        for &c in m.row(r).0 {
+            bw = bw.max(r.abs_diff(c as usize));
+        }
+    }
+    bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubie_core::SplitMix64;
+
+    /// A banded matrix with its rows randomly permuted (high bandwidth).
+    fn shuffled_band(n: usize, half_bw: usize, seed: u64) -> Csr {
+        let mut g = SplitMix64::new(seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = g.next_range(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for j in i.saturating_sub(half_bw)..=(i + half_bw).min(n - 1) {
+                coo.push(perm[i], perm[j], 1.0 + (i + j) as f64);
+            }
+        }
+        Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let m = shuffled_band(200, 3, 1);
+        let p = rcm_permutation(&m);
+        let mut seen = vec![false; 200];
+        for &v in &p {
+            assert!(!seen[v as usize], "duplicate {v}");
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn rcm_recovers_a_narrow_band() {
+        let m = shuffled_band(300, 2, 7);
+        let before = bandwidth(&m);
+        let after = bandwidth(&rcm(&m));
+        assert!(
+            after * 4 < before,
+            "bandwidth should collapse: {before} → {after}"
+        );
+        assert!(after <= 8, "a shuffled ±2 band reorders to ≤ ~2·bw: {after}");
+    }
+
+    #[test]
+    fn permutation_preserves_values_and_nnz() {
+        let m = shuffled_band(150, 3, 3);
+        let r = rcm(&m);
+        assert_eq!(r.nnz(), m.nnz());
+        let mut a: Vec<u64> = m.vals.iter().map(|v| v.to_bits()).collect();
+        let mut b: Vec<u64> = r.vals.iter().map(|v| v.to_bits()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rcm_improves_block_fill() {
+        use crate::mbsr::Mbsr;
+        let m = shuffled_band(256, 3, 9);
+        let fill_before = Mbsr::from_csr(&m).fill_ratio(m.nnz());
+        let r = rcm(&m);
+        let fill_after = Mbsr::from_csr(&r).fill_ratio(r.nnz());
+        assert!(
+            fill_after > 1.5 * fill_before,
+            "mBSR fill should improve: {fill_before:.3} → {fill_after:.3}"
+        );
+    }
+
+    #[test]
+    fn disconnected_components_are_all_ordered() {
+        // Two separate chains.
+        let mut coo = Coo::new(10, 10);
+        for i in 0..4usize {
+            coo.push(i, (i + 1) % 5, 1.0);
+        }
+        for i in 5..9usize {
+            coo.push(i, i + 1, 1.0);
+        }
+        let m = Csr::from_coo(coo);
+        let p = rcm_permutation(&m);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn spmv_result_is_permutation_invariant() {
+        use cubie_core::LcgF64;
+        let m = shuffled_band(128, 2, 11);
+        let perm = rcm_permutation(&m);
+        let r = permute_symmetric(&m, &perm);
+        let x: Vec<f64> = LcgF64::new(5).vec(128);
+        // Permute x accordingly: x_new[i] = x[perm[i]].
+        let xp: Vec<f64> = perm.iter().map(|&o| x[o as usize]).collect();
+        let y = m.spmv_naive(&x);
+        let yp = r.spmv_naive(&xp);
+        for (i, &o) in perm.iter().enumerate() {
+            assert!((yp[i] - y[o as usize]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Accuracy check: the Table 6 pipeline at quick sizes — every workload
+//! variant executed functionally and compared against its serial CPU
+//! ground truth, demonstrating Observation 7 (TC ≡ CC; algorithmic
+//! transformation, not the MMU, moves the error).
+//!
+//! ```sh
+//! cargo run --release --example accuracy_check
+//! ```
+
+use cubie::analysis::errors::{ErrorScale, table6};
+use cubie::analysis::report;
+
+fn main() {
+    println!("Running the Table 6 accuracy study (quick sizes)…\n");
+    let rows = table6(ErrorScale::Quick);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let fmt = |e: Option<cubie::core::ErrorStats>| match e {
+                Some(e) => format!("{} / {}", report::sci(e.avg), report::sci(e.max)),
+                None => "-".to_string(),
+            };
+            vec![
+                r.workload.spec().name.to_string(),
+                r.case_label.clone(),
+                fmt(r.baseline),
+                format!("{} / {}", report::sci(r.tc_cc.avg), report::sci(r.tc_cc.max)),
+                fmt(r.cce),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["workload", "case", "Baseline avg/max", "TC=CC avg/max", "CC-E avg/max"],
+            &table
+        )
+    );
+    println!(
+        "TC and CC were asserted bit-identical during the run: the MMU itself adds no\n\
+         error beyond the equivalent CUDA-core FMA chains. Where columns differ, the\n\
+         *algorithmic transformation* (blocking, reordering, redundancy removal) moved\n\
+         the rounding — the caution Observation 7 gives application developers."
+    );
+}

@@ -1,0 +1,55 @@
+//! BFS traversal: encode a power-law graph in the BerryBees 8×128 bitmap
+//! slice-set format, traverse it with the single-bit tensor-core MMA,
+//! verify exact level agreement with the serial reference and the
+//! Gunrock-style baseline, and report simulated GTEPS.
+//!
+//! ```sh
+//! cargo run --release --example bfs_traversal
+//! ```
+
+use cubie::device::all_devices;
+use cubie::graph::BitmapGraph;
+use cubie::graph::generators::{kron_g500, mycielskian};
+use cubie::kernels::{Variant, bfs};
+use cubie::sim::time_workload;
+
+fn main() {
+    for (name, graph) in [
+        ("kron_g500-logn16 (87 edges/vertex)", kron_g500(16, 87, 0x6500)),
+        ("mycielskian12 (exact construction)", mycielskian(12)),
+    ] {
+        let src = graph.max_degree_vertex();
+        let bitmap = BitmapGraph::from_graph(&graph);
+        println!(
+            "{name}: {} vertices, {} arcs | bitmap: {} slices, {:.1}% fill, {:.2} MB payload",
+            graph.n,
+            graph.num_arcs(),
+            bitmap.num_slices(),
+            100.0 * bitmap.slice_fill(),
+            bitmap.payload_bytes() as f64 / 1e6,
+        );
+
+        let gold = bfs::reference(&graph, src);
+        let depth = *gold.iter().max().unwrap();
+        let reached = gold.iter().filter(|&&l| l >= 0).count();
+        println!("  source {src}: {reached} reachable vertices in {depth} levels");
+
+        for v in Variant::ALL {
+            let (levels, trace) = bfs::run(&graph, src, v);
+            assert_eq!(levels, gold, "{v} must match the serial reference exactly");
+            let launches = trace.launches();
+            print!("  {:9} ({launches:2} level launches)", v.label());
+            for dev in all_devices() {
+                let t = time_workload(&dev, &trace);
+                let gteps = bfs::useful_edges(&graph) / t.total_s / 1e9;
+                print!("  {}={gteps:.1}", dev.arch);
+            }
+            println!("  (GTEPS)");
+        }
+        println!();
+    }
+    println!(
+        "The bit-MMA pull traversal wins on its compact bitmap footprint and regular \
+         slice streams — and scales with bandwidth across Ampere → Hopper → Blackwell (O3)."
+    );
+}

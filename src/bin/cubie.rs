@@ -1,0 +1,434 @@
+//! `cubie` — command-line front end to the suite.
+//!
+//! ```text
+//! cubie devices                      list the Table 5 devices
+//! cubie workloads                    the suite inventory (Table 2)
+//! cubie run <workload> [opts]        simulate all variants of a workload
+//! cubie verify <workload>            functional run vs CPU ground truth
+//! cubie errors [--quick]             the Table 6 accuracy study
+//! cubie advise <workload> [opts]     MMU-suitability prediction
+//!
+//! options: --device a100|h200|b200   (default: all three)
+//!          --case N                  Table 2 case index 0–4 (default 2)
+//!          --sparse-scale K          divide Table 4 matrix sizes by K
+//!          --graph-scale K           divide Table 3 graph sizes by K
+//! ```
+
+use cubie::analysis::advisor::{advise, reference_mapping};
+use cubie::analysis::errors::{ErrorScale, table6};
+use cubie::analysis::report;
+use cubie::device::{DeviceSpec, a100, all_devices, b200, h200};
+use cubie::kernels::{PreparedCase, Variant, Workload, prepare_cases};
+use cubie::sim::time_workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        usage();
+        return;
+    };
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "devices" => devices_cmd(),
+        "workloads" => workloads_cmd(),
+        "run" => run_cmd(&rest),
+        "verify" => verify_cmd(&rest),
+        "errors" => errors_cmd(&rest),
+        "advise" => advise_cmd(&rest),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "cubie — the Cubie MMU characterization suite\n\n\
+         USAGE:\n  cubie devices\n  cubie workloads\n  \
+         cubie run <workload> [--device a100|h200|b200] [--case 0..4] \
+         [--sparse-scale K] [--graph-scale K]\n  \
+         cubie verify <workload>\n  cubie errors [--quick]\n  \
+         cubie advise <workload> [--device ...]\n\n\
+         workloads: gemm pic fft stencil scan reduction bfs gemv spmv spgemm"
+    );
+}
+
+fn opt<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a.as_str() == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn parse_workload(s: &str) -> Workload {
+    match s.to_ascii_lowercase().as_str() {
+        "gemm" => Workload::Gemm,
+        "pic" => Workload::Pic,
+        "fft" => Workload::Fft,
+        "stencil" => Workload::Stencil,
+        "scan" => Workload::Scan,
+        "reduction" => Workload::Reduction,
+        "bfs" => Workload::Bfs,
+        "gemv" => Workload::Gemv,
+        "spmv" => Workload::Spmv,
+        "spgemm" => Workload::Spgemm,
+        other => {
+            eprintln!("unknown workload `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_devices(rest: &[&String]) -> Vec<DeviceSpec> {
+    match opt(rest, "--device") {
+        Some("a100") => vec![a100()],
+        Some("h200") => vec![h200()],
+        Some("b200") => vec![b200()],
+        Some(other) => {
+            eprintln!("unknown device `{other}` (a100|h200|b200)");
+            std::process::exit(2);
+        }
+        None => all_devices(),
+    }
+}
+
+fn scales(rest: &[&String]) -> (usize, usize) {
+    let s = opt(rest, "--sparse-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let g = opt(rest, "--graph-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    (s, g)
+}
+
+fn devices_cmd() {
+    let rows: Vec<Vec<String>> = all_devices()
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                format!("{:.1}", d.tc_fp64_tflops),
+                format!("{:.1}", d.cc_fp64_tflops),
+                format!("{:.0}", d.dram_bw_gbs),
+                format!("{:.0}", d.power.tdp_w),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["device", "TC FP64 TF/s", "CC FP64 TF/s", "DRAM GB/s", "TDP W"],
+            &rows
+        )
+    );
+}
+
+fn workloads_cmd() {
+    let rows: Vec<Vec<String>> = Workload::ALL
+        .iter()
+        .map(|w| {
+            let s = w.spec();
+            vec![
+                s.name.to_string(),
+                format!("Q{}", s.quadrant),
+                s.dwarf.to_string(),
+                s.baseline.unwrap_or("-").to_string(),
+                w.variants()
+                    .iter()
+                    .map(|v| v.label())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["workload", "quadrant", "dwarf", "baseline", "variants"],
+            &rows
+        )
+    );
+}
+
+fn run_cmd(rest: &[&String]) {
+    let Some(wname) = rest.first() else {
+        eprintln!("usage: cubie run <workload> [options]");
+        std::process::exit(2);
+    };
+    let w = parse_workload(wname);
+    let (ss, gs) = scales(rest);
+    let case_idx: usize = opt(rest, "--case").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let cases = prepare_cases(w, ss, gs);
+    let case = cases.get(case_idx).unwrap_or_else(|| {
+        eprintln!("case index out of range (0..{})", cases.len() - 1);
+        std::process::exit(2);
+    });
+    println!(
+        "{} case {} ({}), useful work {:.3e} {}\n",
+        w.spec().name,
+        case_idx,
+        case.label(),
+        case.useful_work(),
+        w.spec().perf_unit
+    );
+    let mut rows = Vec::new();
+    for dev in parse_devices(rest) {
+        for v in w.variants() {
+            let Some(t) = case.trace(v) else { continue };
+            let timing = time_workload(&dev, &t);
+            rows.push(vec![
+                dev.name.clone(),
+                v.label().to_string(),
+                report::seconds(timing.total_s),
+                format!("{:.2}", case.useful_work() / timing.total_s / 1e9),
+                format!("{:.0}%", 100.0 * timing.tc_util().max(timing.b1_util())),
+                format!("{:.0}%", 100.0 * timing.mem_util()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &["device", "variant", "time", "Gunit/s", "TC util", "DRAM util"],
+            &rows
+        )
+    );
+}
+
+fn verify_cmd(rest: &[&String]) {
+    let Some(wname) = rest.first() else {
+        eprintln!("usage: cubie verify <workload>");
+        std::process::exit(2);
+    };
+    let w = parse_workload(wname);
+    println!("verifying {} against the serial CPU reference…", w.spec().name);
+    let ok = verify_one(w);
+    if ok {
+        println!("OK: every variant matches (TC ≡ CC bitwise).");
+    } else {
+        eprintln!("FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn verify_one(w: Workload) -> bool {
+    use cubie::core::ErrorStats;
+    use cubie::kernels::*;
+    let tol = 1e-9;
+    match w {
+        Workload::Gemm => {
+            let case = gemm::GemmCase::square(192);
+            let (a, b) = gemm::inputs(&case);
+            let gold = gemm::reference(&a, &b);
+            w.variants().iter().all(|&v| {
+                let (c, _) = gemm::run(&a, &b, v);
+                let e = ErrorStats::compare(c.as_slice(), gold.as_slice());
+                println!("  {:9} max err {}", v.label(), report::sci(e.max));
+                e.max < tol
+            })
+        }
+        Workload::Gemv => {
+            let case = gemv::GemvCase { m: 2048, n: 16 };
+            let (a, x) = gemv::inputs(&case);
+            let gold = gemv::reference(&a, &x);
+            w.variants().iter().all(|&v| {
+                let (y, _) = gemv::run(&a, &x, v);
+                let e = ErrorStats::compare(&y, &gold);
+                println!("  {:9} max err {}", v.label(), report::sci(e.max));
+                e.max < tol
+            })
+        }
+        Workload::Scan => {
+            let x = scan::input(&scan::ScanCase { n: 1024 });
+            let gold = scan::reference(&x);
+            w.variants().iter().all(|&v| {
+                let (y, _) = scan::run(&x, v);
+                let e = ErrorStats::compare(&y, &gold);
+                println!("  {:9} max err {}", v.label(), report::sci(e.max));
+                e.max < tol
+            })
+        }
+        Workload::Reduction => {
+            let x = reduction::input(&reduction::ReductionCase { n: 1024 });
+            let gold = reduction::reference(&x);
+            w.variants().iter().all(|&v| {
+                let (s, _) = reduction::run(&x, v);
+                println!("  {:9} err {}", v.label(), report::sci((s - gold).abs()));
+                (s - gold).abs() < tol
+            })
+        }
+        Workload::Spmv => {
+            let m = cubie::sparse::generators::conf5_like(16);
+            let x = spmv::input_vector(&m);
+            let gold = spmv::reference(&m, &x);
+            w.variants().iter().all(|&v| {
+                let (y, _) = spmv::run(&m, &x, v);
+                let e = ErrorStats::compare(&y, &gold);
+                println!("  {:9} max err {}", v.label(), report::sci(e.max));
+                e.max < tol
+            })
+        }
+        Workload::Spgemm => {
+            let m = cubie::sparse::generators::spmsrts_like(64);
+            let gold = spgemm::reference(&m);
+            w.variants().iter().all(|&v| {
+                let (c, _) = spgemm::run(&m, v);
+                let (gd, cd) = (gold.to_dense(), c.to_dense());
+                let e = ErrorStats::compare(&cd, &gd);
+                println!("  {:9} max err {}", v.label(), report::sci(e.max));
+                e.max < tol
+            })
+        }
+        Workload::Fft => {
+            let case = fft::FftCase {
+                h: 32,
+                w: 32,
+                batch: 2,
+            };
+            let data = fft::input(&case);
+            let gold: Vec<_> = data.iter().map(|g| fft::dft2_naive(32, 32, g)).collect();
+            w.variants().iter().all(|&v| {
+                let (out, _) = fft::run(&case, &data, v);
+                let e = out
+                    .iter()
+                    .zip(&gold)
+                    .map(|(o, g)| ErrorStats::compare_c64(o, g))
+                    .fold(ErrorStats::default(), |a, b| a.merge(b));
+                println!("  {:9} max err {}", v.label(), report::sci(e.max));
+                e.max < 1e-8
+            })
+        }
+        Workload::Stencil => {
+            let case = stencil::StencilCase::star2d(96, 96);
+            let x = stencil::input(&case);
+            let gold = stencil::reference(&case, &x);
+            w.variants().iter().all(|&v| {
+                let (y, _) = stencil::run(&case, &x, v);
+                let e = ErrorStats::compare(&y, &gold);
+                println!("  {:9} max err {}", v.label(), report::sci(e.max));
+                e.max < tol
+            })
+        }
+        Workload::Pic => {
+            let case = pic::PicCase { n: 4096 };
+            let (parts, grid) = pic::input(&case);
+            let gold = pic::run_serial_style(&parts, &grid);
+            let flat = |p: &pic::Particles| -> Vec<f64> {
+                p.pos
+                    .iter()
+                    .chain(p.vel.iter())
+                    .flat_map(|v| v.iter().copied())
+                    .collect()
+            };
+            let gf = flat(&gold);
+            w.variants().iter().all(|&v| {
+                let (out, _) = pic::run(&case, &parts, &grid, v);
+                let e = ErrorStats::compare(&flat(&out), &gf);
+                println!("  {:9} max err {}", v.label(), report::sci(e.max));
+                e.max < tol
+            })
+        }
+        Workload::Bfs => {
+            let g = cubie::graph::generators::kron_g500(12, 16, 5);
+            let src = g.max_degree_vertex();
+            let gold = bfs::reference(&g, src);
+            w.variants().iter().all(|&v| {
+                let (levels, _) = bfs::run(&g, src, v);
+                let ok = levels == gold;
+                println!("  {:9} levels {}", v.label(), if ok { "exact" } else { "MISMATCH" });
+                ok
+            })
+        }
+    }
+}
+
+fn errors_cmd(rest: &[&String]) {
+    let scale = if rest.iter().any(|a| a.as_str() == "--quick") {
+        ErrorScale::Quick
+    } else {
+        ErrorScale::Full
+    };
+    let rows = table6(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let fmt = |e: Option<cubie::core::ErrorStats>| match e {
+                Some(e) => format!("{} / {}", report::sci(e.avg), report::sci(e.max)),
+                None => "-".to_string(),
+            };
+            vec![
+                r.workload.spec().name.to_string(),
+                r.case_label.clone(),
+                fmt(r.baseline),
+                format!("{} / {}", report::sci(r.tc_cc.avg), report::sci(r.tc_cc.max)),
+                fmt(r.cce),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["workload", "case", "Baseline avg/max", "TC=CC avg/max", "CC-E avg/max"],
+            &table
+        )
+    );
+}
+
+fn advise_cmd(rest: &[&String]) {
+    let Some(wname) = rest.first() else {
+        eprintln!("usage: cubie advise <workload> [--device ...]");
+        std::process::exit(2);
+    };
+    let w = parse_workload(wname);
+    let (ss, gs) = scales(rest);
+    let cases = prepare_cases(w, ss, gs);
+    let case = &cases[2];
+    // Advise from the essential CUDA-core implementation where one is
+    // distinct, otherwise from the CC trace.
+    let cc_variant = if w.spec().distinct_cce {
+        Variant::CcE
+    } else {
+        Variant::Cc
+    };
+    let Some(cc_trace) = case.trace(cc_variant) else {
+        eprintln!("no CUDA-core trace for {wname}");
+        std::process::exit(2);
+    };
+    let mapping = reference_mapping(w);
+    println!(
+        "advising on {} (case {}), from its {} trace:\n",
+        w.spec().name,
+        case.label(),
+        cc_variant.label()
+    );
+    let mut rows = Vec::new();
+    for dev in parse_devices(rest) {
+        let a = advise(&dev, &cc_trace, &mapping);
+        rows.push(vec![
+            dev.name.clone(),
+            format!("{:.2}x", a.predicted_speedup),
+            format!("{:?}", a.cc_limiter),
+            format!("{:?}", a.tc_limiter),
+            format!("Q{}", a.quadrant),
+            format!("{:?}", a.recommendation),
+        ]);
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &["device", "predicted speedup", "CC limiter", "TC limiter", "quadrant", "verdict"],
+            &rows
+        )
+    );
+}
+
+/// Keep the enum import used even when sub-commands evolve.
+#[allow(dead_code)]
+fn _type_anchor(c: PreparedCase) -> String {
+    c.label()
+}

@@ -1,0 +1,45 @@
+//! # Cubie-rs
+//!
+//! A Rust reproduction of the Cubie benchmark suite from
+//! *"Characterizing Matrix Multiplication Units across General Parallel
+//! Patterns in Scientific Computing"* (PPoPP 2026): ten MMU-optimized
+//! scientific kernels in Baseline / TC / CC / CC-E variants, a functional
+//! FP64 tensor-core (MMU) emulator, an analytic GPU timing/power
+//! simulator for A100 / H200 / B200, and the analysis machinery
+//! (roofline, PCA coverage, EDP, numerical error) that regenerates every
+//! table and figure of the paper.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`core`] — MMA semantics, fragments, op counters, RNG, error metrics.
+//! * [`device`] — A100/H200/B200 device specifications.
+//! * [`sim`] — timing, power/EDP, and roofline models.
+//! * [`sparse`] — sparse formats and synthetic SuiteSparse-like matrices.
+//! * [`graph`] — graphs, bitmap slice-sets, synthetic graph generators.
+//! * [`kernels`] — the ten workloads and their variants.
+//! * [`analysis`] — PCA, coverage, quadrants, report rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cubie::device::h200;
+//! use cubie::kernels::gemm::{self, GemmCase};
+//! use cubie::kernels::Variant;
+//! use cubie::sim::time_workload;
+//!
+//! let case = GemmCase::square(2048);
+//! let dev = h200();
+//! let tc = time_workload(&dev, &gemm::trace(&case, Variant::Tc));
+//! let cc = time_workload(&dev, &gemm::trace(&case, Variant::Cc));
+//! assert!(tc.total_s < cc.total_s, "tensor cores beat CUDA cores on GEMM");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cubie_analysis as analysis;
+pub use cubie_core as core;
+pub use cubie_device as device;
+pub use cubie_graph as graph;
+pub use cubie_kernels as kernels;
+pub use cubie_sim as sim;
+pub use cubie_sparse as sparse;

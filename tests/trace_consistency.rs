@@ -1,0 +1,95 @@
+//! Cross-crate consistency: the analytic traces that feed the simulator
+//! must describe exactly the computation the functional kernels perform.
+
+use cubie::core::C64;
+use cubie::kernels::{Variant, fft, gemm, gemv, pic, reduction, scan, spmv, stencil};
+
+#[test]
+fn gemm_run_returns_its_analytic_trace() {
+    let case = gemm::GemmCase::square(128);
+    let (a, b) = gemm::inputs(&case);
+    for v in [Variant::Baseline, Variant::Tc, Variant::Cc] {
+        let (_, rt) = gemm::run(&a, &b, v);
+        assert_eq!(rt, gemm::trace(&case, v), "{v}");
+    }
+}
+
+#[test]
+fn gemv_scan_reduction_traces_match() {
+    let case = gemv::GemvCase { m: 512, n: 16 };
+    let (a, x) = gemv::inputs(&case);
+    for v in Variant::ALL {
+        assert_eq!(gemv::run(&a, &x, v).1, gemv::trace(&case, v), "gemv {v}");
+    }
+    let sc = scan::ScanCase { n: 512 };
+    let xs = scan::input(&sc);
+    for v in Variant::ALL {
+        assert_eq!(scan::run(&xs, v).1, scan::trace(&sc, v), "scan {v}");
+    }
+    let rc = reduction::ReductionCase { n: 512 };
+    let xr = reduction::input(&rc);
+    for v in Variant::ALL {
+        assert_eq!(
+            reduction::run(&xr, v).1,
+            reduction::trace(&rc, v),
+            "reduction {v}"
+        );
+    }
+}
+
+#[test]
+fn spmv_trace_is_structure_determined() {
+    let m = cubie::sparse::generators::chevron1_like(16);
+    let x = spmv::input_vector(&m);
+    for v in Variant::ALL {
+        assert_eq!(spmv::run(&m, &x, v).1, spmv::trace(&m, v), "{v}");
+    }
+}
+
+#[test]
+fn stencil_and_pic_traces_match() {
+    let case = stencil::StencilCase::star2d(48, 64);
+    let x = stencil::input(&case);
+    for v in [Variant::Baseline, Variant::Tc, Variant::Cc] {
+        assert_eq!(stencil::run(&case, &x, v).1, stencil::trace(&case, v), "{v}");
+    }
+    let pc = pic::PicCase { n: 2048 };
+    let (parts, grid) = pic::input(&pc);
+    for v in [Variant::Tc, Variant::Cc] {
+        assert_eq!(
+            pic::run(&pc, &parts, &grid, v).1,
+            pic::trace(&pc, v),
+            "pic {v}"
+        );
+    }
+}
+
+#[test]
+fn fft_executed_mma_count_matches_trace() {
+    // The 1-D batched kernel exposes its executed counters; they must
+    // equal the analytic per-group MMA formula underlying the 2-D trace.
+    for log_n in [2u32, 3, 4, 5] {
+        let n = 1usize << (2 * log_n.min(4)); // 16..256 (pure radix-4)
+        let mut g = cubie::core::LcgF64::new(log_n as u64);
+        let mut xs: Vec<Vec<C64>> = (0..8)
+            .map(|_| (0..n).map(|_| C64::new(g.next_f64(), g.next_f64())).collect())
+            .collect();
+        let ctr = fft::fft1d_batch(&mut xs, Variant::Tc);
+        let l4 = (n.trailing_zeros() / 2) as u64;
+        assert_eq!(
+            ctr.mma_f64,
+            l4 * (n as u64 / 4) * 2,
+            "n={n}: executed MMA count"
+        );
+    }
+}
+
+#[test]
+fn gemm_functional_asserts_mma_against_trace_internally() {
+    // run_tiled_mma asserts executed == analytic; exercise it on ragged
+    // shapes where off-by-one tiling errors would show.
+    let a = cubie::core::DenseMatrix::random(72, 100, 1);
+    let b = cubie::core::DenseMatrix::random(100, 88, 2);
+    let (_, t) = gemm::run(&a, &b, Variant::Tc);
+    assert!(t.total_ops().mma_f64 > 0);
+}
