@@ -99,7 +99,7 @@ fn finish_study(
 
     // Range coverage per component.
     let mut range_coverage = [0.0f64; 2];
-    for c in 0..2 {
+    for (c, rc) in range_coverage.iter_mut().enumerate() {
         let (cmin, cmax) = corpus
             .iter()
             .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
@@ -110,7 +110,7 @@ fn finish_study(
             .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
                 (lo.min(p.xy[c]), hi.max(p.xy[c]))
             });
-        range_coverage[c] = if cmax > cmin {
+        *rc = if cmax > cmin {
             ((rmax - rmin) / (cmax - cmin)).min(1.0)
         } else {
             1.0

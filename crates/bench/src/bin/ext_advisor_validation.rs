@@ -2,38 +2,43 @@
 //! paper's Section 4 future-work direction) against the measured
 //! variants — for every workload, compare the speedup predicted from the
 //! CUDA-core trace + mapping description with the actually simulated
-//! TC-vs-CC-E (or CC) ratio.
+//! TC-vs-CC-E (or CC) ratio. Traces and timings come from the shared
+//! sweep pinned to (H200, case 2).
 
 use cubie_analysis::advisor::{advise, reference_mapping};
 use cubie_analysis::report;
-use cubie_bench::{graph_scale, sparse_scale};
+use cubie_bench::{SweepConfig, SweepRunner};
 use cubie_device::h200;
-use cubie_kernels::{Variant, Workload, prepare_cases};
-use cubie_sim::time_workload;
+use cubie_kernels::Variant;
 
 fn main() {
-    let dev = h200();
+    let mut cfg = SweepConfig::from_env_or_exit();
+    cfg.devices = vec![h200()];
+    cfg.cases = Some(vec![2]); // representative case
+    let sweep = SweepRunner::new(cfg).run();
+    let dev = &sweep.devices()[0];
+
     println!("# Extension — advisor validation on {}\n", dev.name);
     let mut rows = Vec::new();
     let mut within_2x = 0;
     let mut total = 0;
-    for w in Workload::ALL {
-        let cases = prepare_cases(w, sparse_scale(), graph_scale());
-        let case = &cases[2];
+    for &w in sweep.workloads() {
         let cc_variant = if w.spec().distinct_cce {
             Variant::CcE
         } else {
             Variant::Cc
         };
-        let Some(cc_trace) = case.trace(cc_variant) else {
+        let Some(cc_trace) = sweep.trace(w, 2, cc_variant) else {
             continue;
         };
-        let Some(tc_trace) = case.trace(Variant::Tc) else {
+        let (Some(cc_cell), Some(tc_cell)) = (
+            sweep.cell(w, 2, cc_variant, &dev.name),
+            sweep.cell(w, 2, Variant::Tc, &dev.name),
+        ) else {
             continue;
         };
-        let a = advise(&dev, &cc_trace, &reference_mapping(w));
-        let actual = time_workload(&dev, &cc_trace).total_s
-            / time_workload(&dev, &tc_trace).total_s;
+        let a = advise(dev, cc_trace, &reference_mapping(w));
+        let actual = cc_cell.time_s() / tc_cell.time_s();
         let ratio = a.predicted_speedup / actual;
         total += 1;
         if (0.5..2.0).contains(&ratio) {

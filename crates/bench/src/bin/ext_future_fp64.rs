@@ -4,13 +4,14 @@
 //! binary quantifies that argument inside the model: a hypothetical
 //! Blackwell variant whose FP64 tensor-core peak continues Hopper's
 //! trajectory (2× the CUDA-core peak, i.e. 80 TFLOP/s) is swept over the
-//! whole suite against the real B200 (40 TFLOP/s, equal to CC).
+//! whole suite against the real B200 (40 TFLOP/s, equal to CC). The real
+//! timings come from the shared sweep pinned to (B200, case 2); the
+//! hypothetical device reuses the cached traces via `Sweep::time_on`.
 
 use cubie_analysis::report;
-use cubie_bench::WorkloadSweep;
+use cubie_bench::{SweepConfig, SweepRunner};
 use cubie_device::{DeviceSpec, b200};
-use cubie_kernels::{Variant, Workload};
-use cubie_sim::time_workload;
+use cubie_kernels::Variant;
 
 /// The hypothetical "Blackwell-HPC": FP64 TC peak restored to 2× CC,
 /// everything else identical to B200.
@@ -22,8 +23,14 @@ fn b200_strengthened() -> DeviceSpec {
 }
 
 fn main() {
-    let real = b200();
+    let mut cfg = SweepConfig::from_env_or_exit();
+    cfg.devices = vec![b200()];
+    cfg.cases = Some(vec![2]); // representative case
+    cfg.variants = Some(vec![Variant::Tc]);
+    let sweep = SweepRunner::new(cfg).run();
+    let real = &sweep.devices()[0];
     let hyp = b200_strengthened();
+
     println!(
         "# Extension — what if Blackwell had kept scaling FP64 tensor cores?\n\n\
          Real B200: TC {} / CC {} TFLOP/s.  Hypothetical: TC {} / CC {}.\n",
@@ -31,13 +38,12 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut gains = Vec::new();
-    for w in Workload::ALL {
-        let sweep = WorkloadSweep::prepare(w);
-        // Representative case, TC variant on both devices.
-        let variants = w.variants();
-        let vi = variants.iter().position(|v| *v == Variant::Tc).unwrap();
-        let t_real = time_workload(&real, &sweep.traces[2][vi]).total_s;
-        let t_hyp = time_workload(&hyp, &sweep.traces[2][vi]).total_s;
+    for &w in sweep.workloads() {
+        let Some(cell) = sweep.cell(w, 2, Variant::Tc, &real.name) else {
+            continue;
+        };
+        let t_real = cell.time_s();
+        let t_hyp = sweep.time_on(&hyp, w, 2, Variant::Tc).unwrap().total_s;
         let gain = t_real / t_hyp;
         gains.push(gain);
         rows.push(vec![

@@ -4,32 +4,50 @@
 //! DRAM-bound and the variants converge, which is exactly why the paper
 //! evaluates the latency regime to differentiate the compute units; this
 //! binary makes that contrast measurable.
+//!
+//! Shares the sweep engine's CLI surface: `--filter device=…` restricts
+//! the devices and `--jobs N` caps the worker threads of the parallel
+//! (case × variant) fan-out.
 
 use cubie_analysis::report;
-use cubie_bench::devices;
+use cubie_bench::SweepConfig;
+use cubie_core::par::{par_map, set_max_workers};
 use cubie_kernels::segmented::{SegmentedCase, trace_reduce, trace_scan};
 use cubie_kernels::{Variant, Workload};
 use cubie_sim::time_workload;
 
 fn main() {
-    let devs = devices();
+    let cfg = SweepConfig::from_env_or_exit();
+    if let Some(jobs) = cfg.jobs {
+        set_max_workers(jobs);
+    }
     for (name, which) in [("segmented scan", Workload::Scan), ("segmented reduction", Workload::Reduction)] {
         println!("# Extension — {name} throughput sweep (16M elements)\n");
-        for dev in &devs {
-            let mut rows = Vec::new();
-            for case in SegmentedCase::sweep() {
-                let mut row = vec![case.label()];
-                for v in Variant::ALL {
-                    let t = match which {
-                        Workload::Scan => trace_scan(&case, v),
-                        _ => trace_reduce(&case, v),
-                    };
-                    let timing = time_workload(dev, &t);
-                    let gelems = case.total() as f64 / timing.total_s / 1e9;
-                    row.push(format!("{gelems:.1}"));
-                }
-                rows.push(row);
+        let cases = SegmentedCase::sweep();
+        // Traces are variant × case independent: build the grid in
+        // parallel, then project per-device tables from it.
+        let n_variants = Variant::ALL.len();
+        let traces = par_map(cases.len() * n_variants, |i| {
+            let (ci, vi) = (i / n_variants, i % n_variants);
+            match which {
+                Workload::Scan => trace_scan(&cases[ci], Variant::ALL[vi]),
+                _ => trace_reduce(&cases[ci], Variant::ALL[vi]),
             }
+        });
+        for dev in &cfg.devices {
+            let rows: Vec<Vec<String>> = cases
+                .iter()
+                .enumerate()
+                .map(|(ci, case)| {
+                    let mut row = vec![case.label()];
+                    for vi in 0..n_variants {
+                        let timing = time_workload(dev, &traces[ci * n_variants + vi]);
+                        let gelems = case.total() as f64 / timing.total_s / 1e9;
+                        row.push(format!("{gelems:.1}"));
+                    }
+                    row
+                })
+                .collect();
             println!("## {} (Gelem/s)\n", dev.name);
             println!(
                 "{}",

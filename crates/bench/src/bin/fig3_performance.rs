@@ -1,42 +1,42 @@
 //! Figure 3: absolute performance of all workloads and variants across
-//! the five test cases on A100, H200 and B200.
+//! the five test cases on A100, H200 and B200 — a per-(workload, device)
+//! table projection of the shared sweep. Accepts `--filter`/`--jobs`.
 
 use cubie_analysis::report;
-use cubie_bench::{WorkloadSweep, devices};
-use cubie_kernels::Workload;
+use cubie_bench::SweepRunner;
 
 fn main() {
-    let devs = devices();
+    let sweep = SweepRunner::cli();
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
-    for w in Workload::ALL {
-        let sweep = WorkloadSweep::prepare(w);
+    for &w in sweep.workloads() {
         let spec = w.spec();
         println!("\n## {} ({})\n", spec.name, spec.perf_unit);
-        for dev in &devs {
-            let cells = sweep.cells(dev);
+        for dev in sweep.devices() {
             let mut rows = Vec::new();
-            for label in &sweep.labels {
+            let variants = sweep.config.variants_of(w);
+            for ci in sweep.config.case_indices(sweep.labels(w).len()) {
+                let label = &sweep.labels(w)[ci];
                 let mut row = vec![label.clone()];
-                for v in w.variants() {
-                    let c = cells
-                        .iter()
-                        .find(|c| &c.case == label && c.variant == v)
-                        .unwrap();
-                    row.push(format!("{:.2}", c.gthroughput));
+                for &v in &variants {
+                    let Some(c) = sweep.cell(w, ci, v, &dev.name) else {
+                        row.push("-".to_string());
+                        continue;
+                    };
+                    row.push(format!("{:.2}", c.gthroughput()));
                     csv_rows.push(vec![
                         spec.name.to_string(),
                         dev.name.clone(),
                         label.clone(),
                         v.label().to_string(),
-                        format!("{:.6e}", c.time_s),
-                        format!("{:.4}", c.gthroughput),
+                        format!("{:.6e}", c.time_s()),
+                        format!("{:.4}", c.gthroughput()),
                     ]);
                 }
                 rows.push(row);
             }
             let mut headers = vec!["case"];
             let labels: Vec<String> =
-                w.variants().iter().map(|v| v.label().to_string()).collect();
+                variants.iter().map(|v| v.label().to_string()).collect();
             headers.extend(labels.iter().map(|s| s.as_str()));
             println!("### {}\n", dev.name);
             println!("{}", report::markdown_table(&headers, &rows));

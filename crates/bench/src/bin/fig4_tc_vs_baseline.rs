@@ -1,41 +1,43 @@
 //! Figure 4: speedups of the TC implementations over their baselines on
-//! the three GPUs, grouped by utilization quadrant.
+//! the three GPUs, grouped by utilization quadrant — a geomean
+//! projection of the shared sweep. Accepts `--filter`/`--jobs`.
 
 use cubie_analysis::report;
-use cubie_bench::{WorkloadSweep, devices};
-use cubie_kernels::{Variant, Workload};
+use cubie_bench::SweepRunner;
+use cubie_kernels::Variant;
 
 fn main() {
-    let devs = devices();
+    let sweep = SweepRunner::cli();
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for w in Workload::ALL {
+    for &w in sweep.workloads() {
         if w.spec().baseline.is_none() {
             continue; // PiC has no baseline.
         }
-        let sweep = WorkloadSweep::prepare(w);
         let mut row = vec![
             format!("Q{}", w.spec().quadrant),
             w.spec().name.to_string(),
         ];
-        for dev in &devs {
-            let s = sweep
-                .geomean_speedup(dev, Variant::Tc, Variant::Baseline)
-                .unwrap();
-            row.push(format!("{s:.2}x"));
-            csv_rows.push(vec![
-                w.spec().name.to_string(),
-                dev.name.clone(),
-                format!("{s:.4}"),
-            ]);
+        for dev in sweep.devices() {
+            match sweep.geomean_speedup(w, &dev.name, Variant::Tc, Variant::Baseline) {
+                Some(s) => {
+                    row.push(format!("{s:.2}x"));
+                    csv_rows.push(vec![
+                        w.spec().name.to_string(),
+                        dev.name.clone(),
+                        format!("{s:.4}"),
+                    ]);
+                }
+                None => row.push("-".to_string()),
+            }
         }
         rows.push(row);
     }
     println!("# Figure 4 — TC speedup over baseline (geomean of 5 cases)\n");
-    println!(
-        "{}",
-        report::markdown_table(&["quadrant", "workload", "A100", "H200", "B200"], &rows)
-    );
+    let mut headers = vec!["quadrant".to_string(), "workload".to_string()];
+    headers.extend(sweep.devices().iter().map(|d| d.name.clone()));
+    let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", report::markdown_table(&headers, &rows));
     let path = report::results_dir().join("fig4_tc_vs_baseline.csv");
     report::write_csv(&path, &["workload", "device", "speedup"], &csv_rows).unwrap();
     println!("wrote {}", path.display());

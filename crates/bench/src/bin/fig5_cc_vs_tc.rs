@@ -1,36 +1,41 @@
 //! Figure 5: speedups of the CUDA-core MMA replacements (CC) over the
-//! tensor-core versions (TC) — the ablation isolating the compute unit.
+//! tensor-core versions (TC) — the ablation isolating the compute unit,
+//! as a geomean projection of the shared sweep. Accepts
+//! `--filter`/`--jobs`.
 
 use cubie_analysis::report;
-use cubie_bench::{WorkloadSweep, devices};
-use cubie_kernels::{Variant, Workload};
+use cubie_bench::SweepRunner;
+use cubie_kernels::Variant;
 
 fn main() {
-    let devs = devices();
+    let sweep = SweepRunner::cli();
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for w in Workload::ALL {
-        let sweep = WorkloadSweep::prepare(w);
+    for &w in sweep.workloads() {
         let mut row = vec![
             format!("Q{}", w.spec().quadrant),
             w.spec().name.to_string(),
         ];
-        for dev in &devs {
-            let s = sweep.geomean_speedup(dev, Variant::Cc, Variant::Tc).unwrap();
-            row.push(format!("{s:.2}x"));
-            csv_rows.push(vec![
-                w.spec().name.to_string(),
-                dev.name.clone(),
-                format!("{s:.4}"),
-            ]);
+        for dev in sweep.devices() {
+            match sweep.geomean_speedup(w, &dev.name, Variant::Cc, Variant::Tc) {
+                Some(s) => {
+                    row.push(format!("{s:.2}x"));
+                    csv_rows.push(vec![
+                        w.spec().name.to_string(),
+                        dev.name.clone(),
+                        format!("{s:.4}"),
+                    ]);
+                }
+                None => row.push("-".to_string()),
+            }
         }
         rows.push(row);
     }
     println!("# Figure 5 — CC speedup over TC (geomean of 5 cases)\n");
-    println!(
-        "{}",
-        report::markdown_table(&["quadrant", "workload", "A100", "H200", "B200"], &rows)
-    );
+    let mut headers = vec!["quadrant".to_string(), "workload".to_string()];
+    headers.extend(sweep.devices().iter().map(|d| d.name.clone()));
+    let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", report::markdown_table(&headers, &rows));
     let path = report::results_dir().join("fig5_cc_vs_tc.csv");
     report::write_csv(&path, &["workload", "device", "speedup"], &csv_rows).unwrap();
     println!("wrote {}", path.display());

@@ -1,39 +1,42 @@
 //! Figure 7: energy-delay product of all workloads and variants on H200,
 //! one representative test case per workload executed in a loop (the
-//! paper's per-workload repeat counts), with per-quadrant geomeans.
+//! paper's per-workload repeat counts), with per-quadrant geomeans — a
+//! power projection of the shared sweep pinned to (H200, case 2).
 
 use cubie_analysis::report;
-use cubie_bench::{WorkloadSweep, fig7_repeats};
+use cubie_bench::{SweepConfig, SweepRunner, fig7_repeats};
 use cubie_device::h200;
-use cubie_kernels::{Quadrant, Variant, Workload};
-use cubie_sim::{power_report, time_workload};
+use cubie_kernels::{Quadrant, Variant};
+use cubie_sim::power_report;
 
 fn main() {
-    let dev = h200();
+    let mut cfg = SweepConfig::from_env_or_exit();
+    cfg.devices = vec![h200()]; // the paper measures EDP on H200 only
+    cfg.cases = Some(vec![2]); // middle case as the representative
+    let sweep = SweepRunner::new(cfg).run();
+    let dev = &sweep.devices()[0];
+
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     // edp[(quadrant, variant)] values for geomeans.
     let mut per_quadrant: Vec<(Quadrant, Variant, f64)> = Vec::new();
 
-    for w in Workload::ALL {
-        let sweep = WorkloadSweep::prepare(w);
+    for &w in sweep.workloads() {
         let spec = w.spec();
-        let rep = 2usize; // middle case as the representative
+        let rep = 2usize;
         let repeats = fig7_repeats(w);
         let mut row = vec![
             format!("Q{}", spec.quadrant),
             spec.name.to_string(),
-            sweep.labels[rep].clone(),
+            sweep.labels(w)[rep].clone(),
             format!("{repeats}"),
         ];
         for v in [Variant::Baseline, Variant::Tc, Variant::Cc, Variant::CcE] {
-            let variants = w.variants();
-            let Some(vi) = variants.iter().position(|x| *x == v) else {
+            let Some(cell) = sweep.cell(w, rep, v, &dev.name) else {
                 row.push("-".to_string());
                 continue;
             };
-            let timing = time_workload(&dev, &sweep.traces[rep][vi]);
-            let r = power_report(&dev, &timing, repeats);
+            let r = power_report(dev, &cell.timing, repeats);
             row.push(format!("{:.3e}", r.edp));
             per_quadrant.push((spec.quadrant, v, r.edp));
             csv_rows.push(vec![

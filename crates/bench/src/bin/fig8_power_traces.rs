@@ -1,29 +1,35 @@
 //! Figure 8: power consumption over time of all workloads and variants
 //! on H200 (kernel loop, EMA-smoothed readings). Prints per-variant
-//! plateau power and writes the full traces to CSV.
+//! plateau power and writes the full traces to CSV — a power projection
+//! of the shared sweep pinned to (H200, case 2).
 
 use cubie_analysis::report;
-use cubie_bench::{WorkloadSweep, fig7_repeats};
+use cubie_bench::{SweepConfig, SweepRunner, fig7_repeats};
 use cubie_device::h200;
-use cubie_kernels::Workload;
-use cubie_sim::{power_trace, time_workload};
+use cubie_sim::power_trace;
 
 fn main() {
-    let dev = h200();
+    let mut cfg = SweepConfig::from_env_or_exit();
+    cfg.devices = vec![h200()]; // the paper traces power on H200 only
+    cfg.cases = Some(vec![2]); // representative case
+    let sweep = SweepRunner::new(cfg).run();
+    let dev = &sweep.devices()[0];
+
     let mut csv_rows = Vec::new();
     let mut rows = Vec::new();
-    for w in Workload::ALL {
-        let sweep = WorkloadSweep::prepare(w);
+    for &w in sweep.workloads() {
         let spec = w.spec();
         let rep = 2usize;
         let repeats = fig7_repeats(w);
         let mut row = vec![spec.name.to_string()];
-        for (vi, v) in w.variants().iter().enumerate() {
-            let timing = time_workload(&dev, &sweep.traces[rep][vi]);
+        for v in sweep.config.variants_of(w) {
+            let Some(cell) = sweep.cell(w, rep, v, &dev.name) else {
+                continue;
+            };
             // Sample so each trace has ~200 points.
-            let total = timing.total_s * repeats as f64 + 1.0;
+            let total = cell.timing.total_s * repeats as f64 + 1.0;
             let dt = total / 200.0;
-            let trace = power_trace(&dev, &timing, repeats, dt);
+            let trace = power_trace(dev, &cell.timing, repeats, dt);
             let peak = trace.iter().map(|s| s.power_w).fold(0.0f64, f64::max);
             row.push(format!("{peak:.0} W"));
             for s in &trace {
@@ -40,8 +46,9 @@ fn main() {
         }
         rows.push(row);
     }
-    println!("# Figure 8 — plateau power on H200 (variant order per workload: {})\n",
-        "Baseline?, TC, CC, CC-E?");
+    println!(
+        "# Figure 8 — plateau power on H200 (variant order per workload: Baseline?, TC, CC, CC-E?)\n"
+    );
     println!(
         "{}",
         report::markdown_table(&["workload", "v1", "v2", "v3", "v4"], &rows)

@@ -1,16 +1,23 @@
 //! Figure 9: the cache-aware roofline model on H200 — DRAM and L1
 //! bandwidth ceilings, CUDA-core and tensor-core FP64 compute ceilings,
-//! and the placement of every workload variant (BFS excluded: bitwise).
+//! and the placement of every workload variant (BFS excluded: bitwise) —
+//! a placement projection of the shared sweep pinned to (H200, case 2).
 
 use cubie_analysis::report;
-use cubie_bench::WorkloadSweep;
+use cubie_bench::{SweepConfig, SweepRunner};
 use cubie_device::h200;
 use cubie_kernels::Workload;
-use cubie_sim::{Roofline, time_workload};
+use cubie_sim::Roofline;
 
 fn main() {
-    let dev = h200();
-    let roof = Roofline::of(&dev);
+    let mut cfg = SweepConfig::from_env_or_exit();
+    cfg.devices = vec![h200()]; // the paper draws the roofline for H200
+    cfg.cases = Some(vec![2]); // representative case
+    cfg.workloads.retain(|w| *w != Workload::Bfs); // bit ops: no FP64 placement
+    let sweep = SweepRunner::new(cfg).run();
+    let dev = &sweep.devices()[0];
+
+    let roof = Roofline::of(dev);
     println!("# Figure 9 — cache-aware roofline, {}\n", dev.name);
     println!("- DRAM bandwidth ceiling: {:.0} GB/s", roof.dram_bw_gbs);
     println!("- L1 bandwidth ceiling:   {:.0} GB/s", roof.l1_bw_gbs);
@@ -20,16 +27,14 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for w in Workload::ALL {
-        if w == Workload::Bfs {
-            continue; // bit operations: no FP64 placement (as the paper).
-        }
-        let sweep = WorkloadSweep::prepare(w);
+    for &w in sweep.workloads() {
         let rep = 2usize;
-        for (vi, v) in w.variants().iter().enumerate() {
-            let timing = time_workload(&dev, &sweep.traces[rep][vi]);
+        for v in sweep.config.variants_of(w) {
+            let Some(cell) = sweep.cell(w, rep, v, &dev.name) else {
+                continue;
+            };
             let name = format!("{}-{}", w.spec().name, v.label());
-            if let Some(p) = roof.place(&name, &timing) {
+            if let Some(p) = roof.place(&name, &cell.timing) {
                 let bound = roof.dram_bound(p.ai);
                 rows.push(vec![
                     name.clone(),

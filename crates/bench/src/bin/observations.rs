@@ -1,17 +1,26 @@
 //! The paper's nine key observations (O1–O9), each restated with the
 //! evidence this reproduction measures for it.
+//!
+//! O3–O6 and O8 are projections of **one** shared sweep: the
+//! cross-product is prepared, traced and timed exactly once (cached in
+//! the engine), then each observation folds the same [`SweepCell`]s its
+//! own way. O2, O7 and O9 use other subsystems (quadrant analysis, the
+//! Table 6 error harness, the PCA coverage study) and are unchanged.
+//!
+//! [`SweepCell`]: cubie_bench::SweepCell
 
 use cubie_analysis::coverage::suite_diversity_study;
 use cubie_analysis::errors::{ErrorScale, table6};
 use cubie_analysis::quadrants::utilizations;
 use cubie_analysis::report;
-use cubie_bench::{WorkloadSweep, devices, fig7_repeats, graph_scale, sparse_scale};
+use cubie_bench::{SweepRunner, fig7_repeats, graph_scale, sparse_scale};
 use cubie_kernels::{Quadrant, Variant, Workload};
-use cubie_sim::{power_report, time_workload};
+use cubie_sim::power_report;
 
 fn main() {
-    let devs = devices();
-    let h200 = devs[1].clone();
+    let sweep = SweepRunner::cli();
+    let devs = sweep.devices();
+    let h200 = devs.iter().find(|d| d.name.contains("H200")).unwrap_or(&devs[0]).clone();
 
     println!("# The nine key observations, measured\n");
 
@@ -46,15 +55,15 @@ fn main() {
     println!("## O3 — TC beats baselines portably (except FFT)");
     let mut wins = 0;
     let mut total = 0;
-    for w in Workload::ALL {
+    for &w in sweep.workloads() {
         if w.spec().baseline.is_none() {
             continue;
         }
-        let sweep = WorkloadSweep::prepare(w);
-        for dev in &devs {
-            let s = sweep
-                .geomean_speedup(dev, Variant::Tc, Variant::Baseline)
-                .unwrap();
+        for dev in devs {
+            let Some(s) = sweep.geomean_speedup(w, &dev.name, Variant::Tc, Variant::Baseline)
+            else {
+                continue;
+            };
             total += 1;
             if s > 1.0 {
                 wins += 1;
@@ -66,15 +75,14 @@ fn main() {
 
     // O4 — CC vs TC.
     println!("## O4 — isolating the unit: CC retains 10–90% of TC");
-    for w in Workload::ALL {
-        let sweep = WorkloadSweep::prepare(w);
+    for &w in sweep.workloads() {
         let s: Vec<String> = devs
             .iter()
             .map(|d| {
-                format!(
-                    "{:.2}",
-                    sweep.geomean_speedup(d, Variant::Cc, Variant::Tc).unwrap()
-                )
+                sweep
+                    .geomean_speedup(w, &d.name, Variant::Cc, Variant::Tc)
+                    .map(|s| format!("{s:.2}"))
+                    .unwrap_or_else(|| "-".into())
             })
             .collect();
         println!("  {:9}: CC/TC = {} (A100/H200/B200)", w.spec().name, s.join(" / "));
@@ -83,11 +91,10 @@ fn main() {
 
     // O5 — CC-E.
     println!("## O5 — MMU redundancy is worth keeping, except for SpMV");
-    for w in Workload::ALL.iter().filter(|w| w.spec().distinct_cce) {
-        let sweep = WorkloadSweep::prepare(*w);
-        let s = sweep
-            .geomean_speedup(&h200, Variant::CcE, Variant::Tc)
-            .unwrap();
+    for &w in sweep.workloads().iter().filter(|w| w.spec().distinct_cce) {
+        let Some(s) = sweep.geomean_speedup(w, &h200.name, Variant::CcE, Variant::Tc) else {
+            continue;
+        };
         println!("  {:9}: CC-E/TC on H200 = {s:.2}", w.spec().name);
     }
     println!();
@@ -97,20 +104,16 @@ fn main() {
     for q in [Quadrant::I, Quadrant::II, Quadrant::III, Quadrant::IV] {
         let mut tc = Vec::new();
         let mut base = Vec::new();
-        for w in Workload::ALL.iter().filter(|w| w.spec().quadrant == q) {
-            let sweep = WorkloadSweep::prepare(*w);
-            let variants = w.variants();
-            let repeats = fig7_repeats(*w);
-            if let Some(vi) = variants.iter().position(|v| *v == Variant::Tc) {
-                let t = time_workload(&h200, &sweep.traces[2][vi]);
-                tc.push(power_report(&h200, &t, repeats).edp);
+        for &w in sweep.workloads().iter().filter(|w| w.spec().quadrant == q) {
+            let repeats = fig7_repeats(w);
+            if let Some(c) = sweep.cell(w, 2, Variant::Tc, &h200.name) {
+                tc.push(power_report(&h200, &c.timing, repeats).edp);
             }
-            if let Some(vi) = variants.iter().position(|v| *v == Variant::Baseline) {
-                let t = time_workload(&h200, &sweep.traces[2][vi]);
-                base.push(power_report(&h200, &t, repeats).edp);
+            if let Some(c) = sweep.cell(w, 2, Variant::Baseline, &h200.name) {
+                base.push(power_report(&h200, &c.timing, repeats).edp);
             }
         }
-        if !base.is_empty() {
+        if !base.is_empty() && !tc.is_empty() {
             let cut = 1.0 - report::geomean(&tc) / report::geomean(&base);
             println!("  Q{q}: geomean EDP reduction {:.0}%", 100.0 * cut);
         }
@@ -135,15 +138,13 @@ fn main() {
     // O8 — memory regularization.
     println!("## O8 — MMU layouts regularize memory access");
     for w in [Workload::Spmv, Workload::Gemv, Workload::Stencil] {
-        let sweep = WorkloadSweep::prepare(w);
-        let variants = w.variants();
-        let tc_i = variants.iter().position(|v| *v == Variant::Tc).unwrap();
-        let b_i = variants
-            .iter()
-            .position(|v| *v == Variant::Baseline)
-            .unwrap();
-        let tco = sweep.traces[2][tc_i].total_ops();
-        let bo = sweep.traces[2][b_i].total_ops();
+        let (Some(tct), Some(bt)) =
+            (sweep.trace(w, 2, Variant::Tc), sweep.trace(w, 2, Variant::Baseline))
+        else {
+            continue;
+        };
+        let tco = tct.total_ops();
+        let bo = bt.total_ops();
         let frac = |l: cubie_core::MemTraffic, s: cubie_core::MemTraffic| {
             let t = l.total() + s.total();
             if t == 0 {

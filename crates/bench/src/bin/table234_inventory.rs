@@ -3,20 +3,21 @@
 //! generators actually produce at the current scale.
 
 use cubie_analysis::report;
-use cubie_bench::{graph_scale, sparse_scale};
+use cubie_bench::{graph_scale, sparse_scale, sweep};
 use cubie_graph::generators as graph_gen;
-use cubie_kernels::{Workload, prepare_cases};
+use cubie_kernels::Workload;
 use cubie_sparse::generators as sparse_gen;
 
 fn main() {
-    // Table 2: workloads.
+    // Table 2: workloads. Labels come from the sweep engine's cache
+    // (tiny 1/64, 1/1024 scale: the labels are scale-independent), so a
+    // process that also sweeps pays the preparation once.
     println!("# Table 2 — the Cubie workloads\n");
     let rows: Vec<Vec<String>> = Workload::ALL
         .iter()
         .map(|w| {
             let s = w.spec();
-            let cases = prepare_cases(*w, 64, 1024);
-            let labels: Vec<String> = cases.iter().map(|c| c.label()).collect();
+            let labels = sweep::case_labels(*w, 64, 1024);
             vec![
                 s.name.to_string(),
                 format!("Q{}", s.quadrant),

@@ -24,10 +24,32 @@
 //!
 //! Every binary prints a markdown rendering and writes CSV data under
 //! `results/`.
+//!
+//! ## The sweep engine
+//!
+//! All workload-sweeping binaries are **projections of one shared
+//! [`sweep::SweepRunner`] result**: the engine enumerates the
+//! workload × case × variant × device cross-product, prepares each
+//! workload's Table 2/3/4 cases exactly once per process (memoized in
+//! [`sweep::SweepCache`], keyed by `(workload, case, variant, scale)`),
+//! executes the functional kernels and trace construction in parallel
+//! via `cubie_core::par`, and hands each binary an ordered list of
+//! [`sweep::SweepCell`]s to filter and print. Every binary (and
+//! `cubie sweep`) therefore accepts:
+//!
+//! * `--filter workload=…|variant=…|device=…|case=…` — sweep a subset
+//!   without paying full-suite cost;
+//! * `--jobs N` — cap (or oversubscribe) the worker threads; results
+//!   are bit-identical for every `N`, only wall-clock changes.
 
-use cubie_device::{DeviceSpec, all_devices};
-use cubie_kernels::{PreparedCase, Variant, Workload, prepare_cases};
-use cubie_sim::{WorkloadTrace, time_workload};
+#![warn(missing_docs)]
+
+pub mod sweep;
+
+use cubie_device::DeviceSpec;
+pub use sweep::{Sweep, SweepCache, SweepCell, SweepConfig, SweepRunner};
+
+use cubie_kernels::Workload;
 
 /// Scale divisor for the Table 4 sparse matrices (1 = the published
 /// sizes). Override with `CUBIE_SPARSE_SCALE`.
@@ -48,99 +70,9 @@ pub fn graph_scale() -> usize {
         .unwrap_or(16)
 }
 
-/// One measured cell of the Figure 3 sweep.
-pub struct SweepCell {
-    /// Workload.
-    pub workload: Workload,
-    /// Case label.
-    pub case: String,
-    /// Variant.
-    pub variant: Variant,
-    /// Device name.
-    pub device: String,
-    /// Simulated execution time, seconds.
-    pub time_s: f64,
-    /// Throughput in the workload's unit (useful work / time / 1e9).
-    pub gthroughput: f64,
-}
-
-/// Prepared cases plus their traces for one workload (inputs generated
-/// once, traces cached per variant).
-pub struct WorkloadSweep {
-    /// The workload.
-    pub workload: Workload,
-    /// Case labels.
-    pub labels: Vec<String>,
-    /// Useful work per case.
-    pub useful: Vec<f64>,
-    /// `traces[case][variant_index]`, aligned with `workload.variants()`.
-    pub traces: Vec<Vec<WorkloadTrace>>,
-}
-
-impl WorkloadSweep {
-    /// Prepare one workload's five cases and all variant traces.
-    pub fn prepare(w: Workload) -> Self {
-        let cases: Vec<PreparedCase> = prepare_cases(w, sparse_scale(), graph_scale());
-        let variants = w.variants();
-        let mut labels = Vec::new();
-        let mut useful = Vec::new();
-        let mut traces = Vec::new();
-        for case in &cases {
-            labels.push(case.label());
-            useful.push(case.useful_work());
-            traces.push(
-                variants
-                    .iter()
-                    .map(|v| case.trace(*v).expect("variant is evaluated"))
-                    .collect(),
-            );
-        }
-        Self {
-            workload: w,
-            labels,
-            useful,
-            traces,
-        }
-    }
-
-    /// Time every (case, variant) pair on `device`.
-    pub fn cells(&self, device: &DeviceSpec) -> Vec<SweepCell> {
-        let variants = self.workload.variants();
-        let mut out = Vec::new();
-        for (ci, label) in self.labels.iter().enumerate() {
-            for (vi, v) in variants.iter().enumerate() {
-                let t = time_workload(device, &self.traces[ci][vi]);
-                out.push(SweepCell {
-                    workload: self.workload,
-                    case: label.clone(),
-                    variant: *v,
-                    device: device.name.clone(),
-                    time_s: t.total_s,
-                    gthroughput: self.useful[ci] / t.total_s / 1e9,
-                });
-            }
-        }
-        out
-    }
-
-    /// Geomean speedup of variant `a` over `b` on `device` across cases.
-    pub fn geomean_speedup(&self, device: &DeviceSpec, a: Variant, b: Variant) -> Option<f64> {
-        let variants = self.workload.variants();
-        let ia = variants.iter().position(|v| *v == a)?;
-        let ib = variants.iter().position(|v| *v == b)?;
-        let mut log_sum = 0.0;
-        for ci in 0..self.labels.len() {
-            let ta = time_workload(device, &self.traces[ci][ia]).total_s;
-            let tb = time_workload(device, &self.traces[ci][ib]).total_s;
-            log_sum += (tb / ta).ln();
-        }
-        Some((log_sum / self.labels.len() as f64).exp())
-    }
-}
-
 /// The three Table 5 devices.
 pub fn devices() -> Vec<DeviceSpec> {
-    all_devices()
+    cubie_device::all_devices()
 }
 
 /// The paper's Figure 7 per-workload repeat counts ("each of the ten
@@ -166,29 +98,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sweep_prepares_and_times() {
-        let sweep = WorkloadSweep::prepare(Workload::Scan);
-        assert_eq!(sweep.labels.len(), 5);
-        let cells = sweep.cells(&devices()[1]);
-        // 4 variants × 5 cases.
-        assert_eq!(cells.len(), 20);
-        assert!(cells.iter().all(|c| c.time_s > 0.0 && c.gthroughput > 0.0));
-    }
-
-    #[test]
-    fn geomean_speedup_matches_direction() {
-        let sweep = WorkloadSweep::prepare(Workload::Reduction);
-        let d = &devices()[0];
-        let s = sweep
-            .geomean_speedup(d, Variant::Tc, Variant::Baseline)
-            .unwrap();
-        assert!(s > 1.0, "reduction TC speedup {s}");
-    }
-
-    #[test]
     fn fig7_repeats_cover_all() {
         for w in Workload::ALL {
             assert!(fig7_repeats(w) > 0);
         }
+    }
+
+    #[test]
+    fn three_devices() {
+        assert_eq!(devices().len(), 3);
     }
 }

@@ -1,0 +1,598 @@
+//! The shared sweep engine: one parallel, cached execution of the
+//! workload × case × variant × device cross-product that every figure
+//! and table binary projects from.
+//!
+//! Before this engine each harness binary re-prepared the Table 2/3/4
+//! cases and re-ran the full sweep serially; now
+//!
+//! 1. **Preparation is cached.** [`SweepCache`] memoizes, per
+//!    `(workload, sparse_scale, graph_scale)`, the case labels and
+//!    useful-work counts, and per `(workload, case, variant, scale)` the
+//!    analytic [`WorkloadTrace`] — so the functional execution behind
+//!    each cell happens exactly once per process, no matter how many
+//!    consumers (figures, observations, tests) ask for it.
+//! 2. **Execution is parallel.** Workload preparation fans out via
+//!    `cubie_core::par::par_map`, as do the per-case trace constructions
+//!    and the per-cell timings. Results are collected in index order, so
+//!    the output is bit-identical for any `--jobs` setting.
+//! 3. **Projection is cheap.** A [`Sweep`] holds the timed
+//!    [`SweepCell`]s in deterministic (Table 2 workload, case, variant,
+//!    device) order plus the underlying traces, so figure binaries
+//!    become filters/folds over one shared result.
+//!
+//! The `cubie sweep` CLI command (and every figure binary) accepts
+//! `--filter workload=… variant=… device=… case=…` and `--jobs N`, so a
+//! partial sweep never pays full-suite cost.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cubie_core::par::{par_map, set_max_workers};
+use cubie_device::{DeviceSpec, all_devices};
+use cubie_kernels::{Variant, Workload, prepare_cases};
+use cubie_sim::{WorkloadTiming, WorkloadTrace, time_workload};
+
+/// Case-level cache key: workload at a generation scale.
+type CaseKey = (Workload, usize, usize);
+/// Trace-level cache key: `(workload, case index, variant, sparse_scale,
+/// graph_scale)`.
+type TraceKey = (Workload, usize, Variant, usize, usize);
+
+/// Per-case metadata produced by one preparation of a workload.
+#[derive(Debug, Clone)]
+pub struct CaseMeta {
+    /// Case labels (x-axis of Figure 3), in Table 2 order.
+    pub labels: Vec<String>,
+    /// Useful work per case, in the workload's unit basis.
+    pub useful: Vec<f64>,
+}
+
+/// Process-wide memo of prepared cases and their analytic traces.
+///
+/// `prepare_cases` generates multi-hundred-MB sparse matrices and graphs
+/// and the trace construction performs the functional execution of the
+/// kernels; both are paid once per `(workload, scale)` here. The bulky
+/// inputs themselves are dropped as soon as the traces exist — only
+/// labels, useful work and traces are retained.
+#[derive(Default)]
+pub struct SweepCache {
+    meta: Mutex<HashMap<CaseKey, Arc<CaseMeta>>>,
+    traces: Mutex<HashMap<TraceKey, Option<Arc<WorkloadTrace>>>>,
+}
+
+impl SweepCache {
+    /// The process-wide cache shared by every default [`SweepRunner`].
+    pub fn global() -> &'static SweepCache {
+        static GLOBAL: OnceLock<SweepCache> = OnceLock::new();
+        GLOBAL.get_or_init(SweepCache::default)
+    }
+
+    /// Prepare `w` at the given scales (once per process), recording the
+    /// traces of all four variants for all five cases.
+    pub fn ensure(&self, w: Workload, sparse_scale: usize, graph_scale: usize) -> Arc<CaseMeta> {
+        let key = (w, sparse_scale, graph_scale);
+        if let Some(meta) = self.meta.lock().unwrap().get(&key) {
+            return Arc::clone(meta);
+        }
+        // Prepare outside the lock: generation is the expensive part and
+        // other workloads must be able to prepare concurrently. If two
+        // threads race on the same workload the loser's identical result
+        // is discarded below.
+        let cases = prepare_cases(w, sparse_scale, graph_scale);
+        let meta = Arc::new(CaseMeta {
+            labels: cases.iter().map(|c| c.label()).collect(),
+            useful: cases.iter().map(|c| c.useful_work()).collect(),
+        });
+        // All (case, variant) traces in parallel while the inputs are
+        // alive; `trace()` is pure, so any schedule yields the same data.
+        let n_variants = Variant::ALL.len();
+        let traces = par_map(cases.len() * n_variants, |i| {
+            let (ci, vi) = (i / n_variants, i % n_variants);
+            cases[ci].trace(Variant::ALL[vi]).map(Arc::new)
+        });
+        drop(cases);
+        let mut meta_guard = self.meta.lock().unwrap();
+        if let Some(existing) = meta_guard.get(&key) {
+            return Arc::clone(existing); // lost a benign race
+        }
+        let mut trace_guard = self.traces.lock().unwrap();
+        for (i, t) in traces.into_iter().enumerate() {
+            let (ci, vi) = (i / n_variants, i % n_variants);
+            trace_guard.insert((w, ci, Variant::ALL[vi], sparse_scale, graph_scale), t);
+        }
+        meta_guard.insert(key, Arc::clone(&meta));
+        meta
+    }
+
+    /// The cached trace of one cell (`None` when the paper does not
+    /// evaluate the variant, e.g. the PiC baseline). Requires a prior
+    /// [`SweepCache::ensure`] of the workload.
+    pub fn trace(
+        &self,
+        w: Workload,
+        case_idx: usize,
+        v: Variant,
+        sparse_scale: usize,
+        graph_scale: usize,
+    ) -> Option<Arc<WorkloadTrace>> {
+        self.traces
+            .lock()
+            .unwrap()
+            .get(&(w, case_idx, v, sparse_scale, graph_scale))
+            .cloned()
+            .flatten()
+    }
+}
+
+/// Case labels of a workload via the global cache (Table 2 column).
+pub fn case_labels(w: Workload, sparse_scale: usize, graph_scale: usize) -> Vec<String> {
+    SweepCache::global().ensure(w, sparse_scale, graph_scale).labels.clone()
+}
+
+/// What to sweep: the filterable cross-product plus execution knobs.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Workloads to sweep, in output order (default: all ten, Table 2
+    /// order).
+    pub workloads: Vec<Workload>,
+    /// Restrict to these variants (`None`: each workload's paper
+    /// variants).
+    pub variants: Option<Vec<Variant>>,
+    /// Devices to time on (default: the three Table 5 devices).
+    pub devices: Vec<DeviceSpec>,
+    /// Restrict to these Table 2 case indices 0–4 (`None`: all five).
+    pub cases: Option<Vec<usize>>,
+    /// Scale divisor for the Table 4 sparse matrices.
+    pub sparse_scale: usize,
+    /// Scale divisor for the Table 3 graphs.
+    pub graph_scale: usize,
+    /// Worker-thread cap for this run (`None`: keep the process cap;
+    /// also settable via `CUBIE_JOBS`). Never changes results, only
+    /// wall-clock time.
+    pub jobs: Option<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            workloads: Workload::ALL.to_vec(),
+            variants: None,
+            devices: all_devices(),
+            cases: None,
+            sparse_scale: crate::sparse_scale(),
+            graph_scale: crate::graph_scale(),
+            jobs: std::env::var("CUBIE_JOBS").ok().and_then(|v| v.parse().ok()),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Apply one `key=value[,value…]` filter term (`workload=`,
+    /// `variant=`, `device=`, `case=`).
+    pub fn apply_filter(&mut self, term: &str) -> Result<(), String> {
+        let (key, vals) = term
+            .split_once('=')
+            .ok_or_else(|| format!("filter `{term}` is not key=value"))?;
+        match key {
+            "workload" | "w" => {
+                let mut ws = Vec::new();
+                for v in vals.split(',') {
+                    ws.push(Workload::parse(v).ok_or_else(|| format!("unknown workload `{v}`"))?);
+                }
+                // Preserve Table 2 order regardless of filter order.
+                self.workloads = Workload::ALL.into_iter().filter(|w| ws.contains(w)).collect();
+            }
+            "variant" | "v" => {
+                let mut vs = Vec::new();
+                for v in vals.split(',') {
+                    vs.push(Variant::parse(v).ok_or_else(|| format!("unknown variant `{v}`"))?);
+                }
+                self.variants = Some(vs);
+            }
+            "device" | "d" => {
+                let all = all_devices();
+                let mut ds = Vec::new();
+                for v in vals.split(',') {
+                    let lower = v.to_ascii_lowercase();
+                    let dev = all
+                        .iter()
+                        .find(|d| d.name.to_ascii_lowercase().contains(&lower))
+                        .ok_or_else(|| format!("unknown device `{v}` (a100|h200|b200)"))?;
+                    ds.push(dev.clone());
+                }
+                self.devices = ds;
+            }
+            "case" | "c" => {
+                let mut cs = Vec::new();
+                for v in vals.split(',') {
+                    let idx: usize =
+                        v.parse().map_err(|_| format!("case index `{v}` is not 0–4"))?;
+                    if idx > 4 {
+                        return Err(format!("case index `{v}` is not 0–4"));
+                    }
+                    cs.push(idx);
+                }
+                cs.sort_unstable();
+                cs.dedup();
+                self.cases = Some(cs);
+            }
+            other => return Err(format!("unknown filter key `{other}`")),
+        }
+        Ok(())
+    }
+
+    /// Parse the shared CLI surface of the sweep binaries:
+    /// `--filter key=v[,v…]` (repeatable), `--jobs N`,
+    /// `--sparse-scale K`, `--graph-scale K`. Unrecognized arguments are
+    /// an error.
+    pub fn from_cli_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut cfg = SweepConfig::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value_of = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--filter" | "-f" => cfg.apply_filter(&value_of("--filter")?)?,
+                "--jobs" | "-j" => {
+                    let v = value_of("--jobs")?;
+                    cfg.jobs =
+                        Some(v.parse().map_err(|_| format!("--jobs `{v}` is not a number"))?);
+                }
+                "--sparse-scale" => {
+                    let v = value_of("--sparse-scale")?;
+                    cfg.sparse_scale =
+                        v.parse().map_err(|_| format!("--sparse-scale `{v}` is not a number"))?;
+                }
+                "--graph-scale" => {
+                    let v = value_of("--graph-scale")?;
+                    cfg.graph_scale =
+                        v.parse().map_err(|_| format!("--graph-scale `{v}` is not a number"))?;
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Parse the process CLI arguments, exiting with usage on error —
+    /// the one-liner entry point of the figure binaries.
+    pub fn from_env_or_exit() -> Self {
+        match Self::from_cli_args(std::env::args().skip(1)) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!(
+                    "{e}\n\nusage: [--filter workload=gemm,scan] [--filter variant=tc,cc] \
+                     [--filter device=h200] [--filter case=2] [--jobs N] \
+                     [--sparse-scale K] [--graph-scale K]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The variants of `w` that survive this config's variant filter.
+    pub fn variants_of(&self, w: Workload) -> Vec<Variant> {
+        w.variants()
+            .into_iter()
+            .filter(|v| self.variants.as_ref().map(|f| f.contains(v)).unwrap_or(true))
+            .collect()
+    }
+
+    /// The case indices swept (`cases` filter ∩ the workload's five).
+    pub fn case_indices(&self, n_cases: usize) -> Vec<usize> {
+        match &self.cases {
+            Some(cs) => cs.iter().copied().filter(|c| *c < n_cases).collect(),
+            None => (0..n_cases).collect(),
+        }
+    }
+}
+
+/// One timed cell of the sweep cross-product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Workload.
+    pub workload: Workload,
+    /// Table 2 case index (0–4).
+    pub case_idx: usize,
+    /// Case label.
+    pub case: String,
+    /// Variant.
+    pub variant: Variant,
+    /// Device name.
+    pub device: String,
+    /// Useful work of one execution (workload unit basis).
+    pub useful: f64,
+    /// Full simulated timing (per-launch detail included).
+    pub timing: WorkloadTiming,
+}
+
+impl SweepCell {
+    /// Simulated execution time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.timing.total_s
+    }
+
+    /// Throughput in the workload's unit (useful work / time / 1e9).
+    pub fn gthroughput(&self) -> f64 {
+        self.useful / self.timing.total_s / 1e9
+    }
+}
+
+/// The result of a sweep: cells in deterministic order plus the
+/// underlying traces, for projections that need more than a timing
+/// (power traces, roofline placement, advisor input, custom devices).
+pub struct Sweep {
+    /// All timed cells, ordered by (Table 2 workload, case index,
+    /// variant order, device order).
+    pub cells: Vec<SweepCell>,
+    /// The configuration that produced this sweep.
+    pub config: SweepConfig,
+    meta: HashMap<Workload, Arc<CaseMeta>>,
+    traces: HashMap<(Workload, usize, Variant), Arc<WorkloadTrace>>,
+}
+
+impl Sweep {
+    /// Workloads in this sweep, Table 2 order.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.config.workloads
+    }
+
+    /// Devices in this sweep.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.config.devices
+    }
+
+    /// Case labels of `w` (all five, regardless of any case filter).
+    pub fn labels(&self, w: Workload) -> &[String] {
+        &self.meta[&w].labels
+    }
+
+    /// The cell of one (workload, case, variant, device), if swept.
+    pub fn cell(&self, w: Workload, case_idx: usize, v: Variant, device: &str) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            c.workload == w && c.case_idx == case_idx && c.variant == v && c.device == device
+        })
+    }
+
+    /// All cells of one workload on one device, in (case, variant) order.
+    pub fn cells_of<'a>(
+        &'a self,
+        w: Workload,
+        device: &'a str,
+    ) -> impl Iterator<Item = &'a SweepCell> + 'a {
+        self.cells.iter().filter(move |c| c.workload == w && c.device == device)
+    }
+
+    /// The cached analytic trace behind a cell (`None` for unevaluated
+    /// variants or cells outside the swept scope).
+    pub fn trace(&self, w: Workload, case_idx: usize, v: Variant) -> Option<&Arc<WorkloadTrace>> {
+        self.traces.get(&(w, case_idx, v))
+    }
+
+    /// Time one swept cell on an arbitrary (possibly hypothetical)
+    /// device, reusing the cached trace.
+    pub fn time_on(
+        &self,
+        device: &DeviceSpec,
+        w: Workload,
+        case_idx: usize,
+        v: Variant,
+    ) -> Option<WorkloadTiming> {
+        self.trace(w, case_idx, v).map(|t| time_workload(device, t))
+    }
+
+    /// Geomean speedup of variant `a` over `b` on `device` across the
+    /// swept cases of `w` (`None` if no case has both variants).
+    pub fn geomean_speedup(
+        &self,
+        w: Workload,
+        device: &str,
+        a: Variant,
+        b: Variant,
+    ) -> Option<f64> {
+        let mut log_sum = 0.0;
+        let mut count = 0usize;
+        for ci in 0..self.labels(w).len() {
+            let (Some(ca), Some(cb)) = (self.cell(w, ci, a, device), self.cell(w, ci, b, device))
+            else {
+                continue;
+            };
+            log_sum += (cb.time_s() / ca.time_s()).ln();
+            count += 1;
+        }
+        (count > 0).then(|| (log_sum / count as f64).exp())
+    }
+}
+
+/// Runs the configured cross-product through the cache, in parallel.
+pub struct SweepRunner {
+    config: SweepConfig,
+    cache: SweepCacheRef,
+}
+
+enum SweepCacheRef {
+    Global,
+    Owned(Arc<SweepCache>),
+}
+
+impl SweepRunner {
+    /// A runner over the process-global cache (what binaries use).
+    pub fn new(config: SweepConfig) -> Self {
+        SweepRunner {
+            config,
+            cache: SweepCacheRef::Global,
+        }
+    }
+
+    /// A runner over a private cache (isolation for equivalence tests).
+    pub fn with_cache(config: SweepConfig, cache: Arc<SweepCache>) -> Self {
+        SweepRunner {
+            config,
+            cache: SweepCacheRef::Owned(cache),
+        }
+    }
+
+    /// Parse the process CLI (`--filter`/`--jobs`/scales) and run the
+    /// resulting sweep on the global cache.
+    pub fn cli() -> Sweep {
+        SweepRunner::new(SweepConfig::from_env_or_exit()).run()
+    }
+
+    fn cache(&self) -> &SweepCache {
+        match &self.cache {
+            SweepCacheRef::Global => SweepCache::global(),
+            SweepCacheRef::Owned(c) => c,
+        }
+    }
+
+    /// Execute the sweep: prepare (cached) every workload in parallel,
+    /// then time every (workload, case, variant, device) cell in
+    /// parallel, collecting in deterministic order.
+    pub fn run(&self) -> Sweep {
+        let cfg = &self.config;
+        let prev_jobs = cfg.jobs.map(set_max_workers);
+
+        // Phase A — preparation + traces, fanned out over workloads.
+        let (ss, gs) = (cfg.sparse_scale, cfg.graph_scale);
+        let metas = par_map(cfg.workloads.len(), |i| {
+            self.cache().ensure(cfg.workloads[i], ss, gs)
+        });
+        let meta: HashMap<Workload, Arc<CaseMeta>> =
+            cfg.workloads.iter().copied().zip(metas).collect();
+
+        // Enumerate the cross-product in canonical order, keeping only
+        // cells whose variant the paper evaluates.
+        let mut keys: Vec<(Workload, usize, Variant, usize)> = Vec::new();
+        let mut traces: HashMap<(Workload, usize, Variant), Arc<WorkloadTrace>> = HashMap::new();
+        for &w in &cfg.workloads {
+            for ci in cfg.case_indices(meta[&w].labels.len()) {
+                for v in cfg.variants_of(w) {
+                    let Some(t) = self.cache().trace(w, ci, v, ss, gs) else {
+                        continue; // PiC baseline
+                    };
+                    traces.insert((w, ci, v), t);
+                    for di in 0..cfg.devices.len() {
+                        keys.push((w, ci, v, di));
+                    }
+                }
+            }
+        }
+
+        // Phase B — timing, fanned out over cells. `par_map` collects in
+        // index order, so `cells` is deterministic for any job count.
+        let cells = par_map(keys.len(), |i| {
+            let (w, ci, v, di) = keys[i];
+            let device = &cfg.devices[di];
+            let m = &meta[&w];
+            SweepCell {
+                workload: w,
+                case_idx: ci,
+                case: m.labels[ci].clone(),
+                variant: v,
+                device: device.name.clone(),
+                useful: m.useful[ci],
+                timing: time_workload(device, &traces[&(w, ci, v)]),
+            }
+        });
+
+        if let Some(prev) = prev_jobs {
+            set_max_workers(prev);
+        }
+        Sweep {
+            cells,
+            config: cfg.clone(),
+            meta,
+            traces,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SweepConfig {
+        SweepConfig {
+            workloads: vec![Workload::Scan, Workload::Reduction],
+            sparse_scale: 64,
+            graph_scale: 512,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_cells_in_canonical_order() {
+        let sweep = SweepRunner::with_cache(quick_config(), Arc::new(SweepCache::default())).run();
+        // 2 workloads × 5 cases × 4 variants × 3 devices.
+        assert_eq!(sweep.cells.len(), 2 * 5 * 4 * 3);
+        let mut prev: Option<(usize, usize, usize, usize)> = None;
+        for c in &sweep.cells {
+            let variants = c.workload.variants();
+            let key = (
+                c.workload.index(),
+                c.case_idx,
+                variants.iter().position(|v| *v == c.variant).unwrap(),
+                sweep.devices().iter().position(|d| d.name == c.device).unwrap(),
+            );
+            if let Some(p) = prev {
+                assert!(key > p, "cells out of order: {key:?} after {p:?}");
+            }
+            prev = Some(key);
+            assert!(c.time_s() > 0.0 && c.gthroughput() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cache_prepares_once() {
+        let cache = Arc::new(SweepCache::default());
+        let m1 = cache.ensure(Workload::Gemm, 64, 512);
+        let m2 = cache.ensure(Workload::Gemm, 64, 512);
+        assert!(Arc::ptr_eq(&m1, &m2), "second ensure must hit the cache");
+    }
+
+    #[test]
+    fn filters_restrict_the_cross_product() {
+        let mut cfg = quick_config();
+        cfg.apply_filter("variant=tc").unwrap();
+        cfg.apply_filter("case=2").unwrap();
+        cfg.apply_filter("device=h200").unwrap();
+        let sweep = SweepRunner::with_cache(cfg, Arc::new(SweepCache::default())).run();
+        assert_eq!(sweep.cells.len(), 2); // 2 workloads × 1 × 1 × 1
+        assert!(sweep.cells.iter().all(|c| c.variant == Variant::Tc && c.case_idx == 2));
+    }
+
+    #[test]
+    fn filter_errors_are_reported() {
+        let mut cfg = SweepConfig::default();
+        assert!(cfg.apply_filter("workload=nope").is_err());
+        assert!(cfg.apply_filter("case=9").is_err());
+        assert!(cfg.apply_filter("bogus").is_err());
+    }
+
+    #[test]
+    fn geomean_speedup_matches_direction() {
+        let mut cfg = quick_config();
+        cfg.workloads = vec![Workload::Reduction];
+        let sweep = SweepRunner::with_cache(cfg, Arc::new(SweepCache::default())).run();
+        let d = &sweep.devices()[0].name.clone();
+        let s = sweep
+            .geomean_speedup(Workload::Reduction, d, Variant::Tc, Variant::Baseline)
+            .unwrap();
+        assert!(s > 1.0, "reduction TC speedup {s}");
+    }
+
+    #[test]
+    fn pic_baseline_has_no_cells() {
+        let cfg = SweepConfig {
+            workloads: vec![Workload::Pic],
+            sparse_scale: 64,
+            graph_scale: 512,
+            ..SweepConfig::default()
+        };
+        let sweep = SweepRunner::with_cache(cfg, Arc::new(SweepCache::default())).run();
+        assert!(sweep.cells.iter().all(|c| c.variant != Variant::Baseline));
+        // 5 cases × 2 variants (TC, CC — quadrant I folds CC-E) × 3 devices.
+        assert_eq!(sweep.cells.len(), 5 * 2 * 3);
+    }
+}

@@ -125,8 +125,8 @@ impl DenseMatrix {
         (0..self.rows)
             .map(|i| {
                 let mut acc = 0.0f64;
-                for k in 0..self.cols {
-                    acc += self.get(i, k) * x[k];
+                for (k, &xk) in x.iter().enumerate() {
+                    acc += self.get(i, k) * xk;
                 }
                 acc
             })
@@ -176,8 +176,8 @@ mod tests {
         let bx = DenseMatrix::from_vec(3, 1, x.clone());
         let y = a.matvec_naive(&x);
         let p = a.matmul_naive(&bx);
-        for i in 0..6 {
-            assert!((y[i] - p.get(i, 0)).abs() < 1e-15);
+        for (i, yi) in y.iter().enumerate() {
+            assert!((yi - p.get(i, 0)).abs() < 1e-15);
         }
     }
 

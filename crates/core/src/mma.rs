@@ -291,7 +291,7 @@ mod tests {
         mma_b1_m8n8k128_and_popc(&a, &b, &mut c, &mut ctr);
         assert_eq!(c[0], 2); // popc(1011 & 0011) = 2
         assert_eq!(c[7 * 8 + 7], 128);
-        assert_eq!(c[0 * 8 + 7], 3); // a[0] & full = 3 bits
+        assert_eq!(c[7], 3); // row 0, col 7: a[0] & full = 3 bits
         assert_eq!(ctr.mma_b1, 1);
     }
 

@@ -8,15 +8,42 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Process-wide worker cap: 0 means "use all available cores". Set via
+/// [`set_max_workers`] (the `--jobs N` flag of the sweep engine).
+static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the number of worker threads every subsequent `par_*` call may
+/// use (0 restores "all available cores"). Returns the previous cap.
+///
+/// Results of `par_map`/`par_reduce` are collected in index order, so
+/// changing the cap never changes any result — only the wall-clock time.
+pub fn set_max_workers(n: usize) -> usize {
+    MAX_WORKERS.swap(n, Ordering::Relaxed)
+}
+
+/// The current worker cap (0 = uncapped).
+pub fn max_workers() -> usize {
+    MAX_WORKERS.load(Ordering::Relaxed)
+}
+
 /// Number of worker threads to use for `n` independent work items.
 pub fn workers_for(n: usize) -> usize {
     if n <= 1 {
         return 1;
     }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
+    let cap = MAX_WORKERS.load(Ordering::Relaxed);
+    let limit = if cap == 0 {
+        // Uncapped: one worker per available core.
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        // An explicit cap is honoured verbatim — deliberately allowed to
+        // exceed the core count so `--jobs N` exercises real multi-thread
+        // schedules (and their equivalence tests) on small machines.
+        cap
+    };
+    limit.min(n)
 }
 
 /// Map `f` over `0..n` in parallel, collecting results in index order.
@@ -52,7 +79,7 @@ where
                     // SAFETY: each index is claimed exactly once by the
                     // atomic counter, so no two threads touch the same slot.
                     unsafe {
-                        *slots.get(i) = Some(f(i));
+                        slots.set(i, f(i));
                     }
                 }
             });
@@ -113,18 +140,17 @@ where
     F: Fn(usize) -> T + Sync,
     M: Fn(T, T) -> T,
 {
-    par_map(n, f)
-        .into_iter()
-        .fold(identity, |acc, v| merge(acc, v))
+    par_map(n, f).into_iter().fold(identity, merge)
 }
 
 struct SendSlots<T>(*mut Option<T>);
 unsafe impl<T: Send> Sync for SendSlots<T> {}
 impl<T> SendSlots<T> {
     /// # Safety
-    /// Caller must guarantee exclusive access to index `i`.
-    unsafe fn get(&self, i: usize) -> &mut Option<T> {
-        unsafe { &mut *self.0.add(i) }
+    /// Caller must guarantee exclusive access to index `i`, which must be
+    /// in bounds of the slice the slots were created from.
+    unsafe fn set(&self, i: usize, value: T) {
+        unsafe { *self.0.add(i) = Some(value) }
     }
 }
 

@@ -10,8 +10,8 @@ use proptest::prelude::*;
 
 fn finite_val() -> impl Strategy<Value = f64> {
     prop_oneof![
-        (-2.0..2.0f64),
-        (-1e6..1e6f64),
+        -2.0..2.0f64,
+        -1e6..1e6f64,
         Just(0.0),
         Just(1.0),
         Just(-1.0),

@@ -179,7 +179,6 @@ impl DeviceSpec {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::presets::*;
 
     #[test]

@@ -66,7 +66,7 @@ fn run_bitmap(g: &CsrGraph, source: usize, variant: Variant) -> (Vec<i32>, Workl
     frontier[source / BLOCK_COLS] |= 1u128 << (source % BLOCK_COLS);
     // Bands that still contain unsettled rows.
     let mut band_unsettled: Vec<u32> = vec![BLOCK_ROWS as u32; bm.row_blocks];
-    if n % BLOCK_ROWS != 0 {
+    if !n.is_multiple_of(BLOCK_ROWS) {
         band_unsettled[bm.row_blocks - 1] = (n % BLOCK_ROWS) as u32;
     }
     band_unsettled[source / BLOCK_ROWS] -= 1;
@@ -82,6 +82,9 @@ fn run_bitmap(g: &CsrGraph, source: usize, variant: Variant) -> (Vec<i32>, Workl
         let mut processed = 0u64;
         let mut skipped_settled = 0u64;
         let mut next_count = 0u64;
+        // `band_unsettled[rb]` is also decremented inside the inner loop,
+        // so an iterator over it would alias the mutation.
+        #[allow(clippy::needless_range_loop)]
         for rb in 0..bm.row_blocks {
             if band_unsettled[rb] == 0 {
                 skipped_settled += bm.band(rb).len() as u64;

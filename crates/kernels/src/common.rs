@@ -30,6 +30,18 @@ impl Variant {
             Variant::CcE => "CC-E",
         }
     }
+
+    /// Parse a variant from its CLI/filter spelling (case-insensitive;
+    /// `cce` and `cc-e` both name [`Variant::CcE`]).
+    pub fn parse(s: &str) -> Option<Variant> {
+        match s.to_ascii_lowercase().as_str() {
+            "baseline" | "base" => Some(Variant::Baseline),
+            "tc" => Some(Variant::Tc),
+            "cc" => Some(Variant::Cc),
+            "cce" | "cc-e" | "cc_e" => Some(Variant::CcE),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Variant {

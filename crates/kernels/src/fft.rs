@@ -439,7 +439,7 @@ mod tests {
     fn batched_transforms_are_independent() {
         let (case, data) = small_case(8, 8, 10);
         let (all, _) = run(&case, &data, Variant::Tc);
-        let (single, _) = run(&case, &data[3..4].to_vec(), Variant::Tc);
+        let (single, _) = run(&case, &data[3..4], Variant::Tc);
         for (a, b) in all[3].iter().zip(&single[0]) {
             assert_eq!(a.re, b.re);
             assert_eq!(a.im, b.im);

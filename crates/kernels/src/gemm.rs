@@ -171,10 +171,12 @@ fn tc_kernel_trace(case: &GemmCase, variant: Variant) -> WorkloadTrace {
     if split_k == 1 {
         return WorkloadTrace::single(main);
     }
-    let mut red = OpCounters::default();
-    red.add_f64 = (split_k - 1) * m * n;
-    red.l2_bytes = split_k * m * n * 8;
-    red.gmem_store = MemTraffic::coalesced(m * n * 8);
+    let red = OpCounters {
+        add_f64: (split_k - 1) * m * n,
+        l2_bytes: split_k * m * n * 8,
+        gmem_store: MemTraffic::coalesced(m * n * 8),
+        ..Default::default()
+    };
     let reduce = KernelTrace::new(
         format!("gemm-{}-{}-reduce", variant.label(), case.label()),
         (m * n).div_ceil(256),
@@ -193,8 +195,10 @@ fn baseline_kernel_trace(case: &GemmCase) -> KernelTrace {
     let blocks = (case.m.div_ceil(BASE_TILE) * case.n.div_ceil(BASE_TILE)) as u64;
     let (m, n, k) = (case.m as u64, case.n as u64, case.k as u64);
     let tile = BASE_TILE as u64;
-    let mut ops = OpCounters::default();
-    ops.fma_f64 = m * n * k;
+    let mut ops = OpCounters {
+        fma_f64: m * n * k,
+        ..Default::default()
+    };
     let restream = blocks * 2 * tile * k * 8;
     let compulsory = (m * k + k * n) * 8;
     ops.gmem_load = MemTraffic::coalesced(compulsory);

@@ -214,11 +214,14 @@ pub fn run(
     (out, trace(case, variant))
 }
 
+/// Positions and velocities of one 8-particle batch.
+type PosVelBatch = (Vec<[f64; 3]>, Vec<[f64; 3]>);
+
 /// TC/CC functional path: 8-particle batches through the MMA.
 fn run_mma(parts: &Particles, grid: &FieldGrid) -> Particles {
     let n = parts.pos.len();
     let batches = n.div_ceil(8);
-    let results: Vec<(Vec<[f64; 3]>, Vec<[f64; 3]>)> = par::par_map(batches, |bi| {
+    let results: Vec<PosVelBatch> = par::par_map(batches, |bi| {
         let lo = bi * 8;
         let hi = (lo + 8).min(n);
         let mut pos: Vec<[f64; 3]> = parts.pos[lo..hi].to_vec();
@@ -272,8 +275,8 @@ pub fn run_serial_style(parts: &Particles, grid: &FieldGrid) -> Particles {
             for _ in 0..SUBSTEPS {
                 let v = vel[p];
                 let mut vn = [0.0f64; 3];
-                for i in 0..3 {
-                    vn[i] = pm.m[i][0] * v[0] + pm.m[i][1] * v[1] + pm.m[i][2] * v[2] + pm.c[i];
+                for (i, vni) in vn.iter_mut().enumerate() {
+                    *vni = pm.m[i][0] * v[0] + pm.m[i][1] * v[1] + pm.m[i][2] * v[2] + pm.c[i];
                 }
                 vel[p] = vn;
                 for d in 0..3 {
@@ -376,8 +379,8 @@ mod tests {
         let pm = push_matrix(&[0.0; 3], &b);
         let v = [0.4, 0.2, -0.1];
         let mut vn = [0.0f64; 3];
-        for i in 0..3 {
-            vn[i] = pm.m[i][0] * v[0] + pm.m[i][1] * v[1] + pm.m[i][2] * v[2] + pm.c[i];
+        for (i, vni) in vn.iter_mut().enumerate() {
+            *vni = pm.m[i][0] * v[0] + pm.m[i][1] * v[1] + pm.m[i][2] * v[2] + pm.c[i];
         }
         let n0 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
         let n1 = vn.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -389,8 +392,8 @@ mod tests {
         let pm = push_matrix(&[1.0, 0.0, 0.0], &[0.0; 3]);
         let v = [0.0; 3];
         let mut vn = [0.0f64; 3];
-        for i in 0..3 {
-            vn[i] = pm.m[i][0] * v[0] + pm.m[i][1] * v[1] + pm.m[i][2] * v[2] + pm.c[i];
+        for (i, vni) in vn.iter_mut().enumerate() {
+            *vni = pm.m[i][0] * v[0] + pm.m[i][1] * v[1] + pm.m[i][2] * v[2] + pm.c[i];
         }
         assert!((vn[0] - QM * DT).abs() < 1e-15, "full kick per step");
         assert_eq!(vn[1], 0.0);

@@ -195,9 +195,11 @@ pub fn trace(case: &ReductionCase, variant: Variant) -> WorkloadTrace {
     let tiles = n.div_ceil(TILE).max(1) as u64;
     let hierarchical = tiles > 1;
     let label = format!("reduction-{}-{}", variant.label(), case.label());
-    let mut ops = OpCounters::default();
-    ops.smem_bytes = bytes_f64(n) + 8;
-    ops.syncs = if hierarchical { 2 } else { 1 };
+    let mut ops = OpCounters {
+        smem_bytes: bytes_f64(n) + 8,
+        syncs: if hierarchical { 2 } else { 1 },
+        ..Default::default()
+    };
     let critical = match variant {
         Variant::Tc => {
             ops.mma_f64 = 4 * tiles + if hierarchical { 4 } else { 0 };

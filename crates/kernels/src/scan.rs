@@ -155,9 +155,7 @@ fn run_mma(x: &[f64]) -> Vec<f64> {
     let offsets = if tiles > 1 {
         let (sum_scan, _) = scan_tile(&sums, &mut scratch);
         let mut off = vec![0.0f64; tiles];
-        for t in 1..tiles {
-            off[t] = sum_scan[t - 1];
-        }
+        off[1..tiles].copy_from_slice(&sum_scan[..tiles - 1]);
         off
     } else {
         vec![0.0]
@@ -277,13 +275,15 @@ pub fn trace(case: &ScanCase, variant: Variant) -> WorkloadTrace {
     let tiles = n.div_ceil(TILE) as u64;
     let hierarchical = tiles > 1;
     let label = format!("scan-{}-{}", variant.label(), case.label());
-    let mut ops = OpCounters::default();
     // Small single-block kernels run from cache after warm-up (the paper
     // reports 100 warm-up rounds): the compulsory in/out transfer hits
     // DRAM once (added after repeat scaling), while the repeated working
     // set stays in L1.
-    ops.smem_bytes = 2 * bytes_f64(n);
-    ops.syncs = if hierarchical { 2 } else { 1 };
+    let mut ops = OpCounters {
+        smem_bytes: 2 * bytes_f64(n),
+        syncs: if hierarchical { 2 } else { 1 },
+        ..Default::default()
+    };
     let critical = match variant {
         Variant::Tc => {
             ops.mma_f64 = 6 * tiles + if hierarchical { 6 } else { 0 };

@@ -102,10 +102,12 @@ pub fn trace_scan(case: &SegmentedCase, variant: Variant) -> WorkloadTrace {
     let n = case.total() as u64;
     let tiles_per_seg = case.seg_len.div_ceil(scan::TILE) as u64;
     let tiles = tiles_per_seg * case.segments as u64;
-    let mut ops = OpCounters::default();
-    ops.gmem_load = MemTraffic::coalesced(bytes_f64(case.total()));
-    ops.gmem_store = MemTraffic::coalesced(bytes_f64(case.total()));
-    ops.smem_bytes = 2 * bytes_f64(case.total());
+    let mut ops = OpCounters {
+        gmem_load: MemTraffic::coalesced(bytes_f64(case.total())),
+        gmem_store: MemTraffic::coalesced(bytes_f64(case.total())),
+        smem_bytes: 2 * bytes_f64(case.total()),
+        ..Default::default()
+    };
     match variant {
         Variant::Tc => {
             ops.mma_f64 = 6 * tiles + if tiles_per_seg > 1 { 6 * case.segments as u64 } else { 0 };
@@ -142,10 +144,12 @@ pub fn trace_scan(case: &SegmentedCase, variant: Variant) -> WorkloadTrace {
 pub fn trace_reduce(case: &SegmentedCase, variant: Variant) -> WorkloadTrace {
     let n = case.total() as u64;
     let tiles = (case.seg_len.div_ceil(64) * case.segments) as u64;
-    let mut ops = OpCounters::default();
-    ops.gmem_load = MemTraffic::coalesced(bytes_f64(case.total()));
-    ops.gmem_store = MemTraffic::coalesced(bytes_f64(case.segments));
-    ops.smem_bytes = bytes_f64(case.total());
+    let mut ops = OpCounters {
+        gmem_load: MemTraffic::coalesced(bytes_f64(case.total())),
+        gmem_store: MemTraffic::coalesced(bytes_f64(case.segments)),
+        smem_bytes: bytes_f64(case.total()),
+        ..Default::default()
+    };
     match variant {
         Variant::Tc => {
             ops.mma_f64 = 4 * tiles;

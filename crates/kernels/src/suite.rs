@@ -168,6 +168,34 @@ impl Workload {
         }
     }
 
+    /// Position of this workload in Table 2 order (the canonical sort key
+    /// of sweep results).
+    pub fn index(&self) -> usize {
+        Workload::ALL.iter().position(|w| w == self).expect("ALL is total")
+    }
+
+    /// Lower-case key used by CLI filters and CSV columns.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Workload::Gemm => "gemm",
+            Workload::Pic => "pic",
+            Workload::Fft => "fft",
+            Workload::Stencil => "stencil",
+            Workload::Scan => "scan",
+            Workload::Reduction => "reduction",
+            Workload::Bfs => "bfs",
+            Workload::Gemv => "gemv",
+            Workload::Spmv => "spmv",
+            Workload::Spgemm => "spgemm",
+        }
+    }
+
+    /// Parse a workload from its CLI/filter spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<Workload> {
+        let lower = s.to_ascii_lowercase();
+        Workload::ALL.into_iter().find(|w| w.key() == lower)
+    }
+
     /// The variants the paper evaluates for this workload: PiC has no
     /// baseline; Quadrant I folds CC-E into CC.
     pub fn variants(&self) -> Vec<Variant> {

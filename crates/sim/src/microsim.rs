@@ -414,7 +414,7 @@ mod tests {
     fn multiple_warps_share_pipes() {
         let m = SmModel::default();
         let per_warp: Vec<Instr> = (0..16).map(|_| Instr::dep(MicroOp::MmaF64)).collect();
-        let one = simulate_block(&m, &[per_warp.clone()]).cycles;
+        let one = simulate_block(&m, std::slice::from_ref(&per_warp)).cycles;
         let eight = simulate_block(&m, &vec![per_warp; 8]).cycles;
         // Eight dependent chains interleave: total MMA issues = 128 at
         // one per 4 cycles = 512 cycles > single-chain latency 384.

@@ -67,7 +67,9 @@ pub struct PipeTimes {
 }
 
 impl PipeTimes {
-    fn max(&self) -> f64 {
+    /// The busy time of the slowest pipe — the throughput bound on the
+    /// launch's execution time.
+    pub fn max(&self) -> f64 {
         self.tc
             .max(self.cc)
             .max(self.int)
@@ -77,7 +79,23 @@ impl PipeTimes {
             .max(self.dram)
     }
 
-    fn limiter(&self) -> Limiter {
+    /// The busy time of the pipe `l` names (`Latency`/`Launch` have no
+    /// pipe and return 0).
+    pub fn of(&self, l: Limiter) -> f64 {
+        match l {
+            Limiter::TensorCore => self.tc,
+            Limiter::CudaCore => self.cc,
+            Limiter::Int => self.int,
+            Limiter::BitMma => self.b1,
+            Limiter::L1 => self.lsu,
+            Limiter::L2 => self.l2,
+            Limiter::Dram => self.dram,
+            Limiter::Latency | Limiter::Launch => 0.0,
+        }
+    }
+
+    /// Which pipe bounds this launch (ties resolved in pipe order).
+    pub fn limiter(&self) -> Limiter {
         let m = self.max();
         if m == self.tc {
             Limiter::TensorCore

@@ -75,13 +75,13 @@ impl Csr {
     pub fn spmv_naive(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![0.0f64; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0f64;
             for (c, v) in cols.iter().zip(vals) {
                 acc += v * x[*c as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }

@@ -120,7 +120,7 @@ mod tests {
     fn permutation_is_a_bijection() {
         let m = shuffled_band(200, 3, 1);
         let p = rcm_permutation(&m);
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for &v in &p {
             assert!(!seen[v as usize], "duplicate {v}");
             seen[v as usize] = true;

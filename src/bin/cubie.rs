@@ -3,6 +3,8 @@
 //! ```text
 //! cubie devices                      list the Table 5 devices
 //! cubie workloads                    the suite inventory (Table 2)
+//! cubie sweep [opts]                 the full workload × case × variant ×
+//!                                    device sweep (parallel, cached)
 //! cubie run <workload> [opts]        simulate all variants of a workload
 //! cubie verify <workload>            functional run vs CPU ground truth
 //! cubie errors [--quick]             the Table 6 accuracy study
@@ -12,14 +14,19 @@
 //!          --case N                  Table 2 case index 0–4 (default 2)
 //!          --sparse-scale K          divide Table 4 matrix sizes by K
 //!          --graph-scale K           divide Table 3 graph sizes by K
+//!
+//! `sweep` additionally accepts the shared engine flags:
+//!          --filter workload=…|variant=…|device=…|case=…   (repeatable)
+//!          --jobs N                  worker-thread cap (results identical
+//!                                    for every N; only wall-clock changes)
 //! ```
 
 use cubie::analysis::advisor::{advise, reference_mapping};
 use cubie::analysis::errors::{ErrorScale, table6};
 use cubie::analysis::report;
+use cubie::bench::{SweepConfig, SweepRunner};
 use cubie::device::{DeviceSpec, a100, all_devices, b200, h200};
-use cubie::kernels::{PreparedCase, Variant, Workload, prepare_cases};
-use cubie::sim::time_workload;
+use cubie::kernels::{Variant, Workload};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +39,7 @@ fn main() {
     match cmd.as_str() {
         "devices" => devices_cmd(),
         "workloads" => workloads_cmd(),
+        "sweep" => sweep_cmd(&rest),
         "run" => run_cmd(&rest),
         "verify" => verify_cmd(&rest),
         "errors" => errors_cmd(&rest),
@@ -49,6 +57,8 @@ fn usage() {
     println!(
         "cubie — the Cubie MMU characterization suite\n\n\
          USAGE:\n  cubie devices\n  cubie workloads\n  \
+         cubie sweep [--filter workload=…|variant=…|device=…|case=…] [--jobs N] \
+         [--sparse-scale K] [--graph-scale K]\n  \
          cubie run <workload> [--device a100|h200|b200] [--case 0..4] \
          [--sparse-scale K] [--graph-scale K]\n  \
          cubie verify <workload>\n  cubie errors [--quick]\n  \
@@ -155,6 +165,44 @@ fn workloads_cmd() {
     );
 }
 
+fn sweep_cmd(rest: &[&String]) {
+    let cfg = match SweepConfig::from_cli_args(rest.iter().map(|s| (*s).clone())) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!(
+                "{e}\n\nusage: cubie sweep [--filter workload=…|variant=…|device=…|case=…] \
+                 [--jobs N] [--sparse-scale K] [--graph-scale K]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let sweep = SweepRunner::new(cfg).run();
+    let rows: Vec<Vec<String>> = sweep
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.workload.spec().name.to_string(),
+                c.case.clone(),
+                c.variant.label().to_string(),
+                c.device.clone(),
+                report::seconds(c.time_s()),
+                format!("{:.2}", c.gthroughput()),
+                format!("{:.0}%", 100.0 * c.timing.tc_util().max(c.timing.b1_util())),
+                format!("{:.0}%", 100.0 * c.timing.mem_util()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["workload", "case", "variant", "device", "time", "Gunit/s", "TC util", "DRAM util"],
+            &rows
+        )
+    );
+    println!("{} cells swept.", sweep.cells.len());
+}
+
 fn run_cmd(rest: &[&String]) {
     let Some(wname) = rest.first() else {
         eprintln!("usage: cubie run <workload> [options]");
@@ -163,31 +211,45 @@ fn run_cmd(rest: &[&String]) {
     let w = parse_workload(wname);
     let (ss, gs) = scales(rest);
     let case_idx: usize = opt(rest, "--case").and_then(|v| v.parse().ok()).unwrap_or(2);
-    let cases = prepare_cases(w, ss, gs);
-    let case = cases.get(case_idx).unwrap_or_else(|| {
-        eprintln!("case index out of range (0..{})", cases.len() - 1);
+    if case_idx > 4 {
+        eprintln!("case index out of range (0..5)");
         std::process::exit(2);
-    });
+    }
+    // One workload × one case × all variants on the chosen devices — a
+    // filtered projection of the shared sweep engine.
+    let cfg = SweepConfig {
+        workloads: vec![w],
+        variants: None,
+        devices: parse_devices(rest),
+        cases: Some(vec![case_idx]),
+        sparse_scale: ss,
+        graph_scale: gs,
+        jobs: None,
+    };
+    let sweep = SweepRunner::new(cfg).run();
+    let Some(first) = sweep.cells.first() else {
+        eprintln!("nothing swept for {wname} case {case_idx}");
+        std::process::exit(2);
+    };
     println!(
         "{} case {} ({}), useful work {:.3e} {}\n",
         w.spec().name,
         case_idx,
-        case.label(),
-        case.useful_work(),
+        first.case,
+        first.useful,
         w.spec().perf_unit
     );
     let mut rows = Vec::new();
-    for dev in parse_devices(rest) {
+    for dev in sweep.devices() {
         for v in w.variants() {
-            let Some(t) = case.trace(v) else { continue };
-            let timing = time_workload(&dev, &t);
+            let Some(c) = sweep.cell(w, case_idx, v, &dev.name) else { continue };
             rows.push(vec![
                 dev.name.clone(),
                 v.label().to_string(),
-                report::seconds(timing.total_s),
-                format!("{:.2}", case.useful_work() / timing.total_s / 1e9),
-                format!("{:.0}%", 100.0 * timing.tc_util().max(timing.b1_util())),
-                format!("{:.0}%", 100.0 * timing.mem_util()),
+                report::seconds(c.time_s()),
+                format!("{:.2}", c.gthroughput()),
+                format!("{:.0}%", 100.0 * c.timing.tc_util().max(c.timing.b1_util())),
+                format!("{:.0}%", 100.0 * c.timing.mem_util()),
             ]);
         }
     }
@@ -386,8 +448,10 @@ fn advise_cmd(rest: &[&String]) {
     };
     let w = parse_workload(wname);
     let (ss, gs) = scales(rest);
-    let cases = prepare_cases(w, ss, gs);
-    let case = &cases[2];
+    // Prepare through the shared sweep cache: labels and traces of all
+    // variants are memoized for the rest of the process.
+    let cache = cubie::bench::SweepCache::global();
+    let meta = cache.ensure(w, ss, gs);
     // Advise from the essential CUDA-core implementation where one is
     // distinct, otherwise from the CC trace.
     let cc_variant = if w.spec().distinct_cce {
@@ -395,7 +459,7 @@ fn advise_cmd(rest: &[&String]) {
     } else {
         Variant::Cc
     };
-    let Some(cc_trace) = case.trace(cc_variant) else {
+    let Some(cc_trace) = cache.trace(w, 2, cc_variant, ss, gs) else {
         eprintln!("no CUDA-core trace for {wname}");
         std::process::exit(2);
     };
@@ -403,7 +467,7 @@ fn advise_cmd(rest: &[&String]) {
     println!(
         "advising on {} (case {}), from its {} trace:\n",
         w.spec().name,
-        case.label(),
+        meta.labels[2],
         cc_variant.label()
     );
     let mut rows = Vec::new();
@@ -425,10 +489,4 @@ fn advise_cmd(rest: &[&String]) {
             &rows
         )
     );
-}
-
-/// Keep the enum import used even when sub-commands evolve.
-#[allow(dead_code)]
-fn _type_anchor(c: PreparedCase) -> String {
-    c.label()
 }

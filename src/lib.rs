@@ -18,6 +18,8 @@
 //! * [`graph`] — graphs, bitmap slice-sets, synthetic graph generators.
 //! * [`kernels`] — the ten workloads and their variants.
 //! * [`analysis`] — PCA, coverage, quadrants, report rendering.
+//! * [`bench`] — the parallel cached sweep engine every figure/table
+//!   harness projects from (`bench::sweep`).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub use cubie_analysis as analysis;
+pub use cubie_bench as bench;
 pub use cubie_core as core;
 pub use cubie_device as device;
 pub use cubie_graph as graph;

@@ -3,11 +3,11 @@
 //! factor (Figures 3–6 and the nine observations). Absolute numbers are
 //! not asserted — the substrate is a model, not the authors' testbed.
 
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::Arc;
 
+use cubie::bench::SweepCache;
 use cubie::device::{DeviceSpec, all_devices};
-use cubie::kernels::{Variant, Workload, prepare_cases};
+use cubie::kernels::{Variant, Workload};
 use cubie::sim::{WorkloadTrace, time_workload};
 
 /// Sparse matrices run at the paper's full published sizes; graphs are
@@ -16,29 +16,13 @@ use cubie::sim::{WorkloadTrace, time_workload};
 const SPARSE_SCALE: usize = 1;
 const GRAPH_SCALE: usize = 16;
 
-type TraceKey = (Workload, usize, Variant);
-
-fn traces() -> &'static Mutex<HashMap<TraceKey, Option<WorkloadTrace>>> {
-    static CACHE: OnceLock<Mutex<HashMap<TraceKey, Option<WorkloadTrace>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-/// Cached trace of (workload, case index, variant).
-fn trace_of(w: Workload, idx: usize, v: Variant) -> Option<WorkloadTrace> {
-    if let Some(t) = traces().lock().unwrap().get(&(w, idx, v)) {
-        return t.clone();
-    }
-    // Build all five cases × all variants for this workload in one go.
-    let cases = prepare_cases(w, SPARSE_SCALE, GRAPH_SCALE);
-    let mut guard = traces().lock().unwrap();
-    for (i, case) in cases.iter().enumerate() {
-        for variant in Variant::ALL {
-            guard
-                .entry((w, i, variant))
-                .or_insert_with(|| case.trace(variant));
-        }
-    }
-    guard.get(&(w, idx, v)).cloned().flatten()
+/// Cached trace of (workload, case index, variant), via the shared sweep
+/// cache: each workload's five cases and all variant traces are prepared
+/// once per test process, no matter which test asks first.
+fn trace_of(w: Workload, idx: usize, v: Variant) -> Option<Arc<WorkloadTrace>> {
+    let cache = SweepCache::global();
+    cache.ensure(w, SPARSE_SCALE, GRAPH_SCALE);
+    cache.trace(w, idx, v, SPARSE_SCALE, GRAPH_SCALE)
 }
 
 /// Geomean speedup of `a` over `b` across the five Table 2 cases.

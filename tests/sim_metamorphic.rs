@@ -1,0 +1,169 @@
+//! Metamorphic properties of the analytic timing model: relations that
+//! must hold for *any* device parameters and any trace, independent of
+//! the absolute numbers the model produces.
+//!
+//! 1. Giving the device more resources (DRAM bandwidth, FP64 tensor-core
+//!    peak) never increases simulated time.
+//! 2. Simulated time is monotone in problem size.
+//! 3. The reported `Limiter` is consistent with the per-pipe busy times:
+//!    a pipe limiter names the slowest pipe, a latency limiter implies the
+//!    dependency chain dominates every pipe, a launch limiter implies the
+//!    kernel is smaller than its launch overhead.
+
+use cubie::device::{DeviceSpec, all_devices};
+use cubie::kernels::{Variant, gemm, gemv, reduction, scan, stencil};
+use cubie::sim::{Limiter, WorkloadTrace, time_workload};
+
+/// A representative trace set spanning the quadrants: compute-bound
+/// (GEMM TC/CC), latency-bound single-block (Scan, Reduction), and
+/// memory-bound (GEMV, Stencil baseline).
+fn representative_traces() -> Vec<(String, WorkloadTrace)> {
+    let mut out = Vec::new();
+    for v in [Variant::Tc, Variant::Cc] {
+        out.push((format!("gemm-2048 {v}"), gemm::trace(&gemm::GemmCase::square(2048), v)));
+    }
+    for v in Variant::ALL {
+        out.push((format!("scan-4096 {v}"), scan::trace(&scan::ScanCase { n: 4096 }, v)));
+        out.push((
+            format!("reduction-4096 {v}"),
+            reduction::trace(&reduction::ReductionCase { n: 4096 }, v),
+        ));
+        out.push((
+            format!("gemv-8192x16 {v}"),
+            gemv::trace(&gemv::GemvCase { m: 8192, n: 16 }, v),
+        ));
+    }
+    for v in [Variant::Baseline, Variant::Tc] {
+        out.push((
+            format!("stencil-512 {v}"),
+            stencil::trace(&stencil::StencilCase::star2d(512, 512), v),
+        ));
+    }
+    out
+}
+
+/// Assert `faster(device)` never simulates slower than `device` itself.
+fn assert_never_slower(label: &str, tweak: impl Fn(&mut DeviceSpec)) {
+    for dev in all_devices() {
+        let mut boosted = dev.clone();
+        tweak(&mut boosted);
+        for (name, trace) in representative_traces() {
+            let base = time_workload(&dev, &trace).total_s;
+            let fast = time_workload(&boosted, &trace).total_s;
+            assert!(
+                fast <= base * (1.0 + 1e-12),
+                "{name} on {}: {label} increased time {base:.3e}s -> {fast:.3e}s",
+                dev.name
+            );
+        }
+    }
+}
+
+#[test]
+fn more_dram_bandwidth_never_increases_time() {
+    for factor in [1.5, 2.0, 10.0] {
+        assert_never_slower("raising dram_bw_gbs", |d| d.dram_bw_gbs *= factor);
+    }
+}
+
+#[test]
+fn more_tensor_core_peak_never_increases_time() {
+    for factor in [1.5, 2.0, 10.0] {
+        assert_never_slower("raising tc_fp64_tflops", |d| d.tc_fp64_tflops *= factor);
+    }
+}
+
+/// Tolerance for the under-occupied plateau: while the device is not yet
+/// full, grid-fill/latency-hiding efficiency improves with problem size
+/// and can shave a fraction of a percent off the (launch-dominated) time
+/// even as work grows — real GPUs show the same flat latency-bound
+/// plateau. Beyond noise scale, time must grow with work.
+const PLATEAU_TOL: f64 = 0.995;
+
+#[test]
+fn time_is_monotone_in_problem_size() {
+    for dev in all_devices() {
+        for v in [Variant::Tc, Variant::Cc] {
+            let mut last = 0.0;
+            for n in [256, 512, 1024, 2048, 4096] {
+                let t = time_workload(&dev, &gemm::trace(&gemm::GemmCase::square(n), v)).total_s;
+                assert!(
+                    t >= last * PLATEAU_TOL,
+                    "GEMM {v} on {}: time decreased at n={n} ({t:.3e} < {last:.3e})",
+                    dev.name
+                );
+                last = t;
+            }
+        }
+        for v in Variant::ALL {
+            let mut last = 0.0;
+            for n in [512, 2048, 8192, 32768] {
+                let t = time_workload(&dev, &scan::trace(&scan::ScanCase { n }, v)).total_s;
+                assert!(
+                    t >= last * PLATEAU_TOL,
+                    "Scan {v} on {}: time decreased at n={n} ({t:.3e} < {last:.3e})",
+                    dev.name
+                );
+                last = t;
+            }
+            let mut last = 0.0;
+            for m in [1024, 4096, 16384] {
+                let t = time_workload(&dev, &gemv::trace(&gemv::GemvCase { m, n: 16 }, v)).total_s;
+                assert!(
+                    t >= last * PLATEAU_TOL,
+                    "GEMV {v} on {}: time decreased at m={m} ({t:.3e} < {last:.3e})",
+                    dev.name
+                );
+                last = t;
+            }
+        }
+    }
+}
+
+#[test]
+fn limiter_is_consistent_with_pipe_times() {
+    for dev in all_devices() {
+        for (name, trace) in representative_traces() {
+            let timing = time_workload(&dev, &trace);
+            for k in &timing.kernels {
+                match k.limiter {
+                    Limiter::Launch => {
+                        // Launch-bound: the overhead exceeds execution.
+                        assert!(
+                            dev.launch_overhead_s() > k.exec_s,
+                            "{name} on {}: Launch limiter but exec {:.3e}s >= overhead {:.3e}s",
+                            dev.name,
+                            k.exec_s,
+                            dev.launch_overhead_s()
+                        );
+                    }
+                    Limiter::Latency => {
+                        // Latency-bound: the dependency chain dominates
+                        // every pipe's busy time.
+                        assert!(
+                            k.exec_s >= k.pipes.max(),
+                            "{name} on {}: Latency limiter but a pipe is slower",
+                            dev.name
+                        );
+                    }
+                    pipe => {
+                        // Throughput-bound: the named pipe is the max and
+                        // it is what execution time equals.
+                        assert_eq!(
+                            k.pipes.of(pipe),
+                            k.pipes.max(),
+                            "{name} on {}: limiter {pipe:?} is not the slowest pipe",
+                            dev.name
+                        );
+                        assert_eq!(
+                            k.exec_s,
+                            k.pipes.max(),
+                            "{name} on {}: exec time is not the limiting pipe time",
+                            dev.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Determinism and parallel equivalence of the sweep engine: the cell
+//! set a `SweepRunner` produces must be *bit-identical* — same cells,
+//! same order, same f64 bits — for `--jobs 1`, `--jobs N`, repeated
+//! runs, and cache-hit re-runs.
+
+use std::sync::Arc;
+
+use cubie::bench::{SweepCache, SweepConfig, SweepRunner};
+use cubie::kernels::{Variant, Workload};
+
+/// A cross-quadrant config small enough for tests: dense, latency-bound
+/// and sparse workloads, reduced sparse/graph generation scales.
+fn small_config(jobs: Option<usize>) -> SweepConfig {
+    SweepConfig {
+        workloads: vec![Workload::Gemm, Workload::Scan, Workload::Spmv],
+        variants: None,
+        devices: cubie::device::all_devices(),
+        cases: None,
+        sparse_scale: 64,
+        graph_scale: 512,
+        jobs,
+    }
+}
+
+#[test]
+fn jobs_1_and_jobs_n_sweeps_are_bit_identical() {
+    // Serial and 8-way parallel runs over *separate* caches: every cell
+    // is recomputed from scratch on both sides, so equality certifies the
+    // whole prepare → trace → time pipeline is schedule-independent.
+    // (The worker cap deliberately may exceed the core count, so this
+    // exercises real multi-thread schedules even on small CI machines.)
+    let serial =
+        SweepRunner::with_cache(small_config(Some(1)), Arc::new(SweepCache::default())).run();
+    let parallel =
+        SweepRunner::with_cache(small_config(Some(8)), Arc::new(SweepCache::default())).run();
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        // SweepCell's PartialEq compares every f64 exactly — bit-identity,
+        // not approximate agreement.
+        assert_eq!(a, b, "cell diverged between --jobs 1 and --jobs 8");
+    }
+}
+
+#[test]
+fn sweep_order_is_canonical() {
+    let sweep =
+        SweepRunner::with_cache(small_config(Some(4)), Arc::new(SweepCache::default())).run();
+    assert!(!sweep.cells.is_empty());
+    let key = |c: &cubie::bench::SweepCell| {
+        (
+            c.workload.index(),
+            c.case_idx,
+            c.workload.variants().iter().position(|v| *v == c.variant).unwrap(),
+            sweep.devices().iter().position(|d| d.name == c.device).unwrap(),
+        )
+    };
+    for pair in sweep.cells.windows(2) {
+        assert!(
+            key(&pair[0]) < key(&pair[1]),
+            "cells out of (workload, case, variant, device) order"
+        );
+    }
+}
+
+#[test]
+fn rerun_on_a_warm_cache_is_identical() {
+    // Second run over the same cache serves every trace from memory; the
+    // projection must not depend on whether a cell was computed or cached.
+    let cache = Arc::new(SweepCache::default());
+    let cold = SweepRunner::with_cache(small_config(Some(4)), Arc::clone(&cache)).run();
+    let warm = SweepRunner::with_cache(small_config(Some(4)), Arc::clone(&cache)).run();
+    assert_eq!(cold.cells, warm.cells);
+
+    // A filtered projection over the same warm cache agrees cell-for-cell
+    // with the corresponding slice of the full sweep.
+    let mut cfg = small_config(Some(4));
+    cfg.apply_filter("workload=scan").unwrap();
+    cfg.apply_filter("variant=tc").unwrap();
+    cfg.apply_filter("device=h200").unwrap();
+    let filtered = SweepRunner::with_cache(cfg, cache).run();
+    assert_eq!(filtered.cells.len(), 5); // 1 workload × 5 cases × 1 × 1
+    for c in &filtered.cells {
+        assert_eq!(c.workload, Workload::Scan);
+        assert_eq!(c.variant, Variant::Tc);
+        let full = cold
+            .cell(c.workload, c.case_idx, c.variant, &c.device)
+            .expect("cell present in the full sweep");
+        assert_eq!(c, full, "filtered projection diverged from the full sweep");
+    }
+}

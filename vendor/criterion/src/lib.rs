@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! — `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! measurement_time, bench_function}`, `Bencher::iter`, `black_box`,
+//! `criterion_group!`, `criterion_main!` — as a small wall-clock
+//! harness: each benchmark is warmed up once, run for up to the
+//! configured sample count or measurement budget, and reported as
+//! median ns/iter on stdout. No statistics, plots or baselines; see
+//! README, "Offline dependencies", for swapping the real crate in.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement marker types (`criterion::measurement::WallTime`).
+pub mod measurement {
+    /// Wall-clock measurement (the only kind this stand-in offers).
+    pub struct WallTime;
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _parent: PhantomData,
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.default_sample_size;
+        let t = self.default_measurement_time;
+        run_one(&name.into(), n, t, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample-count/time settings.
+pub struct BenchmarkGroup<'a, M> {
+    _parent: PhantomData<&'a mut M>,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Cap the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up duration. The stand-in always runs exactly one
+    /// unrecorded warm-up sample, so the duration is accepted and ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Close the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up sample (not recorded).
+    f(&mut b);
+    b.elapsed = Duration::ZERO;
+    b.iters = 0;
+    let started = Instant::now();
+    let mut taken = 0usize;
+    while taken < samples && started.elapsed() < budget {
+        f(&mut b);
+        taken += 1;
+    }
+    let per_iter_ns = if b.iters == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    };
+    println!("bench: {label:<48} {per_iter_ns:>14.1} ns/iter ({taken} samples)");
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, accumulating into the per-iteration average.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut calls = 0u32;
+        g.bench_function("inc", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls >= 3, "warm-up + samples should run: {calls}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! markers but never serializes at runtime, and the build environment
+//! cannot reach crates.io. This crate supplies just enough surface for
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` to compile:
+//! two empty traits and the no-op derive macros. See README, "Offline
+//! dependencies", for how to swap the real serde back in.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker (no code in the tree serializes anything), and the build
+//! environment has no network access to fetch the real crates. These
+//! derive macros therefore accept the same syntax and expand to nothing.
+//! Swapping the real `serde`/`serde_derive` back in is a two-line change
+//! in the workspace `Cargo.toml` (see README, "Offline dependencies").
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
