@@ -10,7 +10,7 @@
 
 use cubie_device::DeviceSpec;
 use cubie_kernels::Quadrant;
-use cubie_sim::{Limiter, WorkloadTrace, time_workload};
+use cubie_sim::{time_workload, Limiter, WorkloadTrace};
 use serde::{Deserialize, Serialize};
 
 /// How the kernel's arithmetic would map onto MMA tiles — the knobs a
@@ -120,7 +120,10 @@ fn transform(trace: &WorkloadTrace, mapping: &MmaMapping) -> WorkloadTrace {
 /// Predict the tensor-core benefit of porting the kernel whose CUDA-core
 /// trace is `cc_trace` under the proposed `mapping`, on `device`.
 pub fn advise(device: &DeviceSpec, cc_trace: &WorkloadTrace, mapping: &MmaMapping) -> Advice {
-    assert!(mapping.redundancy >= 1.0, "redundancy is an inflation factor");
+    assert!(
+        mapping.redundancy >= 1.0,
+        "redundancy is an inflation factor"
+    );
     assert!((0.0..=1.0).contains(&mapping.mappable_fraction));
     let cc = time_workload(device, cc_trace);
     let tc_trace = transform(cc_trace, mapping);
@@ -216,7 +219,7 @@ pub fn reference_mapping(w: cubie_kernels::Workload) -> MmaMapping {
 mod tests {
     use super::*;
     use cubie_device::{b200, h200};
-    use cubie_kernels::{Variant, Workload, gemm, gemv, spmv};
+    use cubie_kernels::{gemm, gemv, spmv, Variant, Workload};
 
     #[test]
     fn gemm_mapping_is_quadrant_i_and_strong_on_h200() {

@@ -132,11 +132,7 @@ fn finish_study(
     let radius = 0.25 * diag;
     let near = corpus
         .iter()
-        .filter(|p| {
-            representatives
-                .iter()
-                .any(|r| dist(&p.xy, &r.xy) <= radius)
-        })
+        .filter(|p| representatives.iter().any(|r| dist(&p.xy, &r.xy) <= radius))
         .count();
     let near_representative_fraction = near as f64 / corpus.len().max(1) as f64;
 
@@ -251,15 +247,60 @@ pub struct DwarfRow {
 
 /// Table 7's dwarf rows.
 pub const TABLE7: [DwarfRow; 9] = [
-    DwarfRow { dwarf: "Dense linear algebra", rodinia: 3, shoc: 2, cubie: 2 },
-    DwarfRow { dwarf: "Sparse linear algebra", rodinia: 0, shoc: 0, cubie: 2 },
-    DwarfRow { dwarf: "Spectral methods", rodinia: 0, shoc: 1, cubie: 1 },
-    DwarfRow { dwarf: "N-Body", rodinia: 0, shoc: 1, cubie: 1 },
-    DwarfRow { dwarf: "Structured grids", rodinia: 4, shoc: 1, cubie: 1 },
-    DwarfRow { dwarf: "Unstructured grids", rodinia: 2, shoc: 0, cubie: 0 },
-    DwarfRow { dwarf: "MapReduce", rodinia: 0, shoc: 3, cubie: 2 },
-    DwarfRow { dwarf: "Graph traversal", rodinia: 2, shoc: 0, cubie: 1 },
-    DwarfRow { dwarf: "Dynamic programming", rodinia: 1, shoc: 0, cubie: 0 },
+    DwarfRow {
+        dwarf: "Dense linear algebra",
+        rodinia: 3,
+        shoc: 2,
+        cubie: 2,
+    },
+    DwarfRow {
+        dwarf: "Sparse linear algebra",
+        rodinia: 0,
+        shoc: 0,
+        cubie: 2,
+    },
+    DwarfRow {
+        dwarf: "Spectral methods",
+        rodinia: 0,
+        shoc: 1,
+        cubie: 1,
+    },
+    DwarfRow {
+        dwarf: "N-Body",
+        rodinia: 0,
+        shoc: 1,
+        cubie: 1,
+    },
+    DwarfRow {
+        dwarf: "Structured grids",
+        rodinia: 4,
+        shoc: 1,
+        cubie: 1,
+    },
+    DwarfRow {
+        dwarf: "Unstructured grids",
+        rodinia: 2,
+        shoc: 0,
+        cubie: 0,
+    },
+    DwarfRow {
+        dwarf: "MapReduce",
+        rodinia: 0,
+        shoc: 3,
+        cubie: 2,
+    },
+    DwarfRow {
+        dwarf: "Graph traversal",
+        rodinia: 2,
+        shoc: 0,
+        cubie: 1,
+    },
+    DwarfRow {
+        dwarf: "Dynamic programming",
+        rodinia: 1,
+        shoc: 0,
+        cubie: 0,
+    },
 ];
 
 /// Features evaluated per suite (Table 7's lower half).

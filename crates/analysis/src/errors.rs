@@ -6,7 +6,7 @@
 
 use cubie_core::ErrorStats;
 use cubie_kernels::{
-    Variant, Workload, fft, gemm, gemv, pic, reduction, scan, spgemm, spmv, stencil,
+    fft, gemm, gemv, pic, reduction, scan, spgemm, spmv, stencil, Variant, Workload,
 };
 use cubie_sparse::Csr;
 use serde::{Deserialize, Serialize};
@@ -120,9 +120,8 @@ pub fn table6(scale: ErrorScale) -> Vec<ErrorRow> {
         let case = gemm::GemmCase::square(if quick { 96 } else { 512 });
         let (a, b) = gemm::inputs(&case);
         let gold = gemm::reference(&a, &b);
-        let err = |v: Variant| {
-            ErrorStats::compare(gemm::run(&a, &b, v).0.as_slice(), gold.as_slice())
-        };
+        let err =
+            |v: Variant| ErrorStats::compare(gemm::run(&a, &b, v).0.as_slice(), gold.as_slice());
         let (tc, cc) = (err(Variant::Tc), err(Variant::Cc));
         assert_eq!(tc, cc);
         rows.push(ErrorRow {
@@ -301,7 +300,12 @@ mod tests {
                 row.tc_cc.max
             );
             if let Some(b) = row.baseline {
-                assert!(b.max < 1e-8, "{:?}: baseline max error {}", row.workload, b.max);
+                assert!(
+                    b.max < 1e-8,
+                    "{:?}: baseline max error {}",
+                    row.workload,
+                    b.max
+                );
             }
         }
     }

@@ -6,7 +6,7 @@
 //! pipe utilizations and operation mixes of a workload trace.
 
 use cubie_device::DeviceSpec;
-use cubie_sim::{WorkloadTrace, time_workload};
+use cubie_sim::{time_workload, WorkloadTrace};
 use serde::{Deserialize, Serialize};
 
 /// Names of the metric dimensions, in [`ArchMetrics::values`] order.
@@ -41,11 +41,7 @@ pub fn metrics_of(
 ) -> ArchMetrics {
     let t = time_workload(device, trace);
     let ops = &t.total_ops;
-    let ai = ops
-        .arithmetic_intensity()
-        .unwrap_or(1e-3)
-        .max(1e-3)
-        .log10();
+    let ai = ops.arithmetic_intensity().unwrap_or(1e-3).max(1e-3).log10();
     let tensor_work = ops.tc_flops() as f64 + (ops.mma_b1 * 8192) as f64;
     let scalar_work = ops.cc_flops() as f64 + ops.int_ops as f64;
     let tensor_fraction = if tensor_work + scalar_work > 0.0 {
@@ -102,7 +98,7 @@ pub fn cubie_metrics(
     sparse_scale: usize,
     graph_scale: usize,
 ) -> Vec<ArchMetrics> {
-    use cubie_kernels::{Variant, Workload, prepare_cases};
+    use cubie_kernels::{prepare_cases, Variant, Workload};
     Workload::ALL
         .iter()
         .map(|w| {
@@ -121,7 +117,7 @@ pub fn cubie_metrics(
 mod tests {
     use super::*;
     use cubie_device::h200;
-    use cubie_kernels::{Variant, gemm, scan};
+    use cubie_kernels::{gemm, scan, Variant};
 
     #[test]
     fn gemm_tc_is_tensor_heavy() {

@@ -10,8 +10,8 @@
 //! over a power grid, `lud` is an in-place blocked LU factorization with
 //! `2n³/3` FLOPs, SHOC `Triad` moves three streams per FMA.
 
-use cubie_core::OpCounters;
 use cubie_core::counters::MemTraffic;
+use cubie_core::OpCounters;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 
 /// A named profile entry.
@@ -39,107 +39,139 @@ pub fn rodinia() -> Vec<MiniKernel> {
     v.push(MiniKernel {
         name: "rodinia-kmeans",
         dwarf: "Dense linear algebra",
-        trace: launch(n / 256, 256, OpCounters {
-            fma_f64: n * k * d,
-            add_f64: n * k,
-            gmem_load: MemTraffic::coalesced(n * d * 8),
-            l2_bytes: n * k * d * 8 / 16,
-            gmem_store: MemTraffic::coalesced(n * 4),
-            ..Default::default()
-        }),
+        trace: launch(
+            n / 256,
+            256,
+            OpCounters {
+                fma_f64: n * k * d,
+                add_f64: n * k,
+                gmem_load: MemTraffic::coalesced(n * d * 8),
+                l2_bytes: n * k * d * 8 / 16,
+                gmem_store: MemTraffic::coalesced(n * 4),
+                ..Default::default()
+            },
+        ),
     });
     // lud: blocked LU, 2n³/3 FLOPs.
     let n = 2048u64;
     v.push(MiniKernel {
         name: "rodinia-lud",
         dwarf: "Dense linear algebra",
-        trace: launch((n / 16) * (n / 16), 256, OpCounters {
-            fma_f64: n * n * n / 3,
-            gmem_load: MemTraffic::coalesced(n * n * 8),
-            l2_bytes: n * n * n / 16 * 8,
-            gmem_store: MemTraffic::coalesced(n * n * 8),
-            smem_bytes: n * n * 16 * 8,
-            ..Default::default()
-        }),
+        trace: launch(
+            (n / 16) * (n / 16),
+            256,
+            OpCounters {
+                fma_f64: n * n * n / 3,
+                gmem_load: MemTraffic::coalesced(n * n * 8),
+                l2_bytes: n * n * n / 16 * 8,
+                gmem_store: MemTraffic::coalesced(n * n * 8),
+                smem_bytes: n * n * 16 * 8,
+                ..Default::default()
+            },
+        ),
     });
     // gaussian elimination.
     let n = 2048u64;
     v.push(MiniKernel {
         name: "rodinia-gaussian",
         dwarf: "Dense linear algebra",
-        trace: launch(n / 2, 256, OpCounters {
-            fma_f64: n * n * n / 3,
-            gmem_load: MemTraffic::strided(n * n * n / 64 * 8),
-            gmem_store: MemTraffic::strided(n * n * 8),
-            ..Default::default()
-        }),
+        trace: launch(
+            n / 2,
+            256,
+            OpCounters {
+                fma_f64: n * n * n / 3,
+                gmem_load: MemTraffic::strided(n * n * n / 64 * 8),
+                gmem_store: MemTraffic::strided(n * n * 8),
+                ..Default::default()
+            },
+        ),
     });
     // hotspot: 5-point power/temperature stencil.
     let g = 4096u64 * 4096;
     v.push(MiniKernel {
         name: "rodinia-hotspot",
         dwarf: "Structured grids",
-        trace: launch(g / 2048, 256, OpCounters {
-            fma_f64: g * 7,
-            gmem_load: MemTraffic::coalesced(2 * g * 8),
-            gmem_store: MemTraffic::coalesced(g * 8),
-            smem_bytes: g * 5 * 8,
-            ..Default::default()
-        }),
+        trace: launch(
+            g / 2048,
+            256,
+            OpCounters {
+                fma_f64: g * 7,
+                gmem_load: MemTraffic::coalesced(2 * g * 8),
+                gmem_store: MemTraffic::coalesced(g * 8),
+                smem_bytes: g * 5 * 8,
+                ..Default::default()
+            },
+        ),
     });
     // srad: speckle-reducing anisotropic diffusion (two stencil passes +
     // divisions).
     v.push(MiniKernel {
         name: "rodinia-srad",
         dwarf: "Structured grids",
-        trace: launch(g / 2048, 256, OpCounters {
-            fma_f64: g * 12,
-            special_f64: g,
-            gmem_load: MemTraffic::coalesced(3 * g * 8),
-            gmem_store: MemTraffic::coalesced(2 * g * 8),
-            smem_bytes: g * 8 * 8,
-            ..Default::default()
-        }),
+        trace: launch(
+            g / 2048,
+            256,
+            OpCounters {
+                fma_f64: g * 12,
+                special_f64: g,
+                gmem_load: MemTraffic::coalesced(3 * g * 8),
+                gmem_store: MemTraffic::coalesced(2 * g * 8),
+                smem_bytes: g * 8 * 8,
+                ..Default::default()
+            },
+        ),
     });
     // cfd: unstructured-mesh Euler solver — indirect gathers dominate.
     let cells = 1u64 << 21;
     v.push(MiniKernel {
         name: "rodinia-cfd",
         dwarf: "Unstructured grids",
-        trace: launch(cells / 192, 192, OpCounters {
-            fma_f64: cells * 180,
-            special_f64: cells * 2,
-            gmem_load: MemTraffic::random(cells * 4 * 32) + MemTraffic::coalesced(cells * 40),
-            gmem_store: MemTraffic::coalesced(cells * 40),
-            int_ops: cells * 16,
-            ..Default::default()
-        }),
+        trace: launch(
+            cells / 192,
+            192,
+            OpCounters {
+                fma_f64: cells * 180,
+                special_f64: cells * 2,
+                gmem_load: MemTraffic::random(cells * 4 * 32) + MemTraffic::coalesced(cells * 40),
+                gmem_store: MemTraffic::coalesced(cells * 40),
+                int_ops: cells * 16,
+                ..Default::default()
+            },
+        ),
     });
     // bfs (Rodinia's simple level-synchronous version).
     let (vtx, edg) = (1u64 << 21, 12u64 << 21);
     v.push(MiniKernel {
         name: "rodinia-bfs",
         dwarf: "Graph traversal",
-        trace: launch(vtx / 256, 256, OpCounters {
-            int_ops: edg * 4,
-            gmem_load: MemTraffic::random(edg * 4) + MemTraffic::strided(edg * 4),
-            gmem_store: MemTraffic::random(vtx * 4),
-            ..Default::default()
-        }),
+        trace: launch(
+            vtx / 256,
+            256,
+            OpCounters {
+                int_ops: edg * 4,
+                gmem_load: MemTraffic::random(edg * 4) + MemTraffic::strided(edg * 4),
+                gmem_store: MemTraffic::random(vtx * 4),
+                ..Default::default()
+            },
+        ),
     });
     // pathfinder: dynamic programming over a grid.
     let (cols, rows) = (1u64 << 20, 128u64);
     v.push(MiniKernel {
         name: "rodinia-pathfinder",
         dwarf: "Dynamic programming",
-        trace: launch(cols / 256, 256, OpCounters {
-            add_f64: cols * rows,
-            int_ops: cols * rows * 3,
-            gmem_load: MemTraffic::coalesced(cols * rows * 4 / 8),
-            gmem_store: MemTraffic::coalesced(cols * 4),
-            smem_bytes: cols * rows * 4,
-            ..Default::default()
-        }),
+        trace: launch(
+            cols / 256,
+            256,
+            OpCounters {
+                add_f64: cols * rows,
+                int_ops: cols * rows * 3,
+                gmem_load: MemTraffic::coalesced(cols * rows * 4 / 8),
+                gmem_store: MemTraffic::coalesced(cols * 4),
+                smem_bytes: cols * rows * 4,
+                ..Default::default()
+            },
+        ),
     });
     v
 }
@@ -153,24 +185,32 @@ pub fn shoc() -> Vec<MiniKernel> {
     v.push(MiniKernel {
         name: "shoc-sgemm",
         dwarf: "Dense linear algebra",
-        trace: launch((n / 32) * (n / 32), 256, OpCounters {
-            fma_f64: n * n * n,
-            gmem_load: MemTraffic::coalesced(2 * n * n * 8),
-            l2_bytes: 2 * n * n * n / 32 * 8,
-            gmem_store: MemTraffic::coalesced(n * n * 8),
-            smem_bytes: n * n * n / 32 * 8,
-            ..Default::default()
-        }),
+        trace: launch(
+            (n / 32) * (n / 32),
+            256,
+            OpCounters {
+                fma_f64: n * n * n,
+                gmem_load: MemTraffic::coalesced(2 * n * n * 8),
+                l2_bytes: 2 * n * n * n / 32 * 8,
+                gmem_store: MemTraffic::coalesced(n * n * 8),
+                smem_bytes: n * n * n / 32 * 8,
+                ..Default::default()
+            },
+        ),
     });
     v.push(MiniKernel {
         name: "shoc-triad",
         dwarf: "Dense linear algebra",
-        trace: launch(1 << 14, 256, OpCounters {
-            fma_f64: 1 << 24,
-            gmem_load: MemTraffic::coalesced(2 * (1u64 << 24) * 8),
-            gmem_store: MemTraffic::coalesced((1u64 << 24) * 8),
-            ..Default::default()
-        }),
+        trace: launch(
+            1 << 14,
+            256,
+            OpCounters {
+                fma_f64: 1 << 24,
+                gmem_load: MemTraffic::coalesced(2 * (1u64 << 24) * 8),
+                gmem_store: MemTraffic::coalesced((1u64 << 24) * 8),
+                ..Default::default()
+            },
+        ),
     });
     // fft: Stockham radix-2, 5·N·log₂N.
     let n = 1u64 << 22;
@@ -178,76 +218,101 @@ pub fn shoc() -> Vec<MiniKernel> {
     v.push(MiniKernel {
         name: "shoc-fft",
         dwarf: "Spectral methods",
-        trace: launch(n / 512, 128, OpCounters {
-            mul_f64: n / 2 * l2n * 4,
-            add_f64: n / 2 * l2n * 6,
-            gmem_load: MemTraffic::coalesced(n * 16) + MemTraffic::strided(n * 16),
-            gmem_store: MemTraffic::coalesced(n * 16),
-            smem_bytes: n * 16 * l2n,
-            ..Default::default()
-        }),
+        trace: launch(
+            n / 512,
+            128,
+            OpCounters {
+                mul_f64: n / 2 * l2n * 4,
+                add_f64: n / 2 * l2n * 6,
+                gmem_load: MemTraffic::coalesced(n * 16) + MemTraffic::strided(n * 16),
+                gmem_store: MemTraffic::coalesced(n * 16),
+                smem_bytes: n * 16 * l2n,
+                ..Default::default()
+            },
+        ),
     });
     // md: Lennard-Jones pairwise forces with neighbour lists.
     let (atoms, neigh) = (1u64 << 17, 128u64);
     v.push(MiniKernel {
         name: "shoc-md",
         dwarf: "N-Body",
-        trace: launch(atoms / 128, 128, OpCounters {
-            fma_f64: atoms * neigh * 23,
-            special_f64: atoms * neigh,
-            gmem_load: MemTraffic::random(atoms * neigh * 24) + MemTraffic::coalesced(atoms * 32),
-            gmem_store: MemTraffic::coalesced(atoms * 24),
-            int_ops: atoms * neigh * 2,
-            ..Default::default()
-        }),
+        trace: launch(
+            atoms / 128,
+            128,
+            OpCounters {
+                fma_f64: atoms * neigh * 23,
+                special_f64: atoms * neigh,
+                gmem_load: MemTraffic::random(atoms * neigh * 24)
+                    + MemTraffic::coalesced(atoms * 32),
+                gmem_store: MemTraffic::coalesced(atoms * 24),
+                int_ops: atoms * neigh * 2,
+                ..Default::default()
+            },
+        ),
     });
     // stencil2d: 9-point.
     let g = 4096u64 * 4096;
     v.push(MiniKernel {
         name: "shoc-stencil2d",
         dwarf: "Structured grids",
-        trace: launch(g / 2048, 256, OpCounters {
-            fma_f64: g * 9,
-            gmem_load: MemTraffic::coalesced(g * 8) + MemTraffic::strided(g * 2),
-            gmem_store: MemTraffic::coalesced(g * 8),
-            smem_bytes: g * 9 * 8,
-            ..Default::default()
-        }),
+        trace: launch(
+            g / 2048,
+            256,
+            OpCounters {
+                fma_f64: g * 9,
+                gmem_load: MemTraffic::coalesced(g * 8) + MemTraffic::strided(g * 2),
+                gmem_store: MemTraffic::coalesced(g * 8),
+                smem_bytes: g * 9 * 8,
+                ..Default::default()
+            },
+        ),
     });
     // reduction / scan / sort: the MapReduce trio.
     let n = 1u64 << 24;
     v.push(MiniKernel {
         name: "shoc-reduction",
         dwarf: "MapReduce",
-        trace: launch(n / 2048, 256, OpCounters {
-            add_f64: n,
-            gmem_load: MemTraffic::coalesced(n * 8),
-            gmem_store: MemTraffic::coalesced(n / 2048 * 8),
-            smem_bytes: n / 8,
-            ..Default::default()
-        }),
+        trace: launch(
+            n / 2048,
+            256,
+            OpCounters {
+                add_f64: n,
+                gmem_load: MemTraffic::coalesced(n * 8),
+                gmem_store: MemTraffic::coalesced(n / 2048 * 8),
+                smem_bytes: n / 8,
+                ..Default::default()
+            },
+        ),
     });
     v.push(MiniKernel {
         name: "shoc-scan",
         dwarf: "MapReduce",
-        trace: launch(n / 2048, 256, OpCounters {
-            add_f64: 2 * n,
-            gmem_load: MemTraffic::coalesced(n * 8),
-            gmem_store: MemTraffic::coalesced(n * 8),
-            smem_bytes: n,
-            ..Default::default()
-        }),
+        trace: launch(
+            n / 2048,
+            256,
+            OpCounters {
+                add_f64: 2 * n,
+                gmem_load: MemTraffic::coalesced(n * 8),
+                gmem_store: MemTraffic::coalesced(n * 8),
+                smem_bytes: n,
+                ..Default::default()
+            },
+        ),
     });
     v.push(MiniKernel {
         name: "shoc-sort",
         dwarf: "MapReduce",
-        trace: launch(n / 1024, 256, OpCounters {
-            int_ops: n * 32,
-            gmem_load: MemTraffic::coalesced(4 * n * 4) + MemTraffic::random(4 * n * 4),
-            gmem_store: MemTraffic::random(4 * n * 4),
-            smem_bytes: n * 16,
-            ..Default::default()
-        }),
+        trace: launch(
+            n / 1024,
+            256,
+            OpCounters {
+                int_ops: n * 32,
+                gmem_load: MemTraffic::coalesced(4 * n * 4) + MemTraffic::random(4 * n * 4),
+                gmem_store: MemTraffic::random(4 * n * 4),
+                smem_bytes: n * 16,
+                ..Default::default()
+            },
+        ),
     });
     v
 }

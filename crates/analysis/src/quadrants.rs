@@ -28,16 +28,66 @@ pub struct Utilization {
 pub fn utilizations() -> Vec<Utilization> {
     use Workload::*;
     vec![
-        Utilization { workload: Gemm, input: 1.0, output: 1.0, reuse: "C accumulates across k (inputs re-loaded)" },
-        Utilization { workload: Pic, input: 1.0, output: 1.0, reuse: "B (push matrix) reused across substeps" },
-        Utilization { workload: Fft, input: 1.0, output: 1.0, reuse: "A (twiddled DFT matrix) loaded once, reused across the batch" },
-        Utilization { workload: Stencil, input: 1.0, output: 1.0, reuse: "B (band factors) resident in constant memory" },
-        Utilization { workload: Scan, input: 0.5, output: 1.0, reuse: "constant U/L/O operands never loaded" },
-        Utilization { workload: Reduction, input: 0.5, output: 1.0 / 64.0, reuse: "constant one-row/one-column operands" },
-        Utilization { workload: Bfs, input: 1.0, output: 8.0 / 64.0, reuse: "B (frontier segment) reused across a band's slices" },
-        Utilization { workload: Gemv, input: 1.0, output: 8.0 / 64.0, reuse: "x broadcast reused; diagonal extracted" },
-        Utilization { workload: Spmv, input: 1.0, output: 8.0 / 64.0, reuse: "C accumulates across a bundle's steps; diagonal extracted" },
-        Utilization { workload: Spgemm, input: 1.0, output: 0.5, reuse: "A block pair reused; diagonal quadrants kept" },
+        Utilization {
+            workload: Gemm,
+            input: 1.0,
+            output: 1.0,
+            reuse: "C accumulates across k (inputs re-loaded)",
+        },
+        Utilization {
+            workload: Pic,
+            input: 1.0,
+            output: 1.0,
+            reuse: "B (push matrix) reused across substeps",
+        },
+        Utilization {
+            workload: Fft,
+            input: 1.0,
+            output: 1.0,
+            reuse: "A (twiddled DFT matrix) loaded once, reused across the batch",
+        },
+        Utilization {
+            workload: Stencil,
+            input: 1.0,
+            output: 1.0,
+            reuse: "B (band factors) resident in constant memory",
+        },
+        Utilization {
+            workload: Scan,
+            input: 0.5,
+            output: 1.0,
+            reuse: "constant U/L/O operands never loaded",
+        },
+        Utilization {
+            workload: Reduction,
+            input: 0.5,
+            output: 1.0 / 64.0,
+            reuse: "constant one-row/one-column operands",
+        },
+        Utilization {
+            workload: Bfs,
+            input: 1.0,
+            output: 8.0 / 64.0,
+            reuse: "B (frontier segment) reused across a band's slices",
+        },
+        Utilization {
+            workload: Gemv,
+            input: 1.0,
+            output: 8.0 / 64.0,
+            reuse: "x broadcast reused; diagonal extracted",
+        },
+        Utilization {
+            workload: Spmv,
+            input: 1.0,
+            output: 8.0 / 64.0,
+            reuse: "C accumulates across a bundle's steps; diagonal extracted",
+        },
+        Utilization {
+            workload: Spgemm,
+            input: 1.0,
+            output: 0.5,
+            reuse: "A block pair reused; diagonal quadrants kept",
+        },
     ]
 }
 

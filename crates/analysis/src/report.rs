@@ -81,7 +81,11 @@ pub fn write_csv(
     writeln!(
         f,
         "{}",
-        headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for row in rows {
         writeln!(

@@ -5,10 +5,7 @@ use proptest::prelude::*;
 
 fn samples() -> impl Strategy<Value = Vec<Vec<f64>>> {
     (2usize..6, 3usize..60).prop_flat_map(|(d, n)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-100.0..100.0f64, d),
-            n.max(d + 1),
-        )
+        proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, d), n.max(d + 1))
     })
 }
 

@@ -5,14 +5,17 @@
 
 use std::time::Duration;
 
-use criterion::{Criterion, criterion_group, criterion_main};
-use cubie_core::OpCounters;
+use criterion::{criterion_group, criterion_main, Criterion};
 use cubie_core::counters::MemTraffic;
+use cubie_core::OpCounters;
 use cubie_device::h200;
-use cubie_kernels::{Variant, scan};
-use cubie_sim::{KernelTrace, time_kernel};
+use cubie_kernels::{scan, Variant};
+use cubie_sim::{time_kernel, KernelTrace};
 
-fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(30)
         .warm_up_time(Duration::from_millis(300))
@@ -103,14 +106,7 @@ fn ablate_occupancy(c: &mut Criterion) {
     let mut g = quick(c, "ablation_occupancy");
     for warps_per_block in [1u32, 4, 8, 32] {
         let blocks = total_warps / warps_per_block as u64;
-        let t = KernelTrace::new(
-            "occ",
-            blocks,
-            warps_per_block * 32,
-            0,
-            ops,
-            0.0,
-        );
+        let t = KernelTrace::new("occ", blocks, warps_per_block * 32, 0, ops, 0.0);
         println!(
             "  {warps_per_block:2} warps/block ({blocks:5} blocks): {:.3e} s",
             time_kernel(&d, &t).exec_s
@@ -124,16 +120,12 @@ fn ablate_occupancy(c: &mut Criterion) {
 
 /// Ablation 4 — split-K: small-grid GEMM with and without the k split.
 fn ablate_split_k(c: &mut Criterion) {
-    use cubie_kernels::gemm::{GemmCase, split_k_for};
+    use cubie_kernels::gemm::{split_k_for, GemmCase};
     let d = h200();
     let case = GemmCase::square(256);
     let (split, chunk) = split_k_for(&case);
     let with = cubie_kernels::gemm::trace(&case, Variant::Tc);
-    let t_with: f64 = with
-        .kernels
-        .iter()
-        .map(|k| time_kernel(&d, k).time_s)
-        .sum();
+    let t_with: f64 = with.kernels.iter().map(|k| time_kernel(&d, k).time_s).sum();
     println!("\n# Ablation: split-K on 256³ GEMM (H200)");
     println!("  split-K {split} (chunk {chunk}): {t_with:.3e} s total");
     let mut g = quick(c, "ablation_split_k");

@@ -7,10 +7,13 @@
 
 use std::time::Duration;
 
-use criterion::{Criterion, criterion_group, criterion_main};
-use cubie_kernels::{Variant, bfs, fft, gemm, gemv, pic, reduction, scan, spgemm, spmv, stencil};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cubie_kernels::{bfs, fft, gemm, gemv, pic, reduction, scan, spgemm, spmv, stencil, Variant};
 
-fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(300))

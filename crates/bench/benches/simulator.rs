@@ -3,14 +3,19 @@
 
 use std::time::Duration;
 
-use criterion::{Criterion, criterion_group, criterion_main};
-use cubie_core::OpCounters;
+use criterion::{criterion_group, criterion_main, Criterion};
 use cubie_core::counters::MemTraffic;
+use cubie_core::OpCounters;
 use cubie_device::h200;
-use cubie_kernels::{Variant, gemm};
-use cubie_sim::{KernelTrace, WorkloadTrace, power_report, power_trace, time_kernel, time_workload};
+use cubie_kernels::{gemm, Variant};
+use cubie_sim::{
+    power_report, power_trace, time_kernel, time_workload, KernelTrace, WorkloadTrace,
+};
 
-fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(50)
         .warm_up_time(Duration::from_millis(300))
@@ -57,12 +62,7 @@ fn bench_sim(c: &mut Criterion) {
 fn bench_trace_building(c: &mut Criterion) {
     let mut g = quick(c, "trace_building");
     g.bench_function("gemm_trace_4096", |bench| {
-        bench.iter(|| {
-            std::hint::black_box(gemm::trace(
-                &gemm::GemmCase::square(4096),
-                Variant::Tc,
-            ))
-        })
+        bench.iter(|| std::hint::black_box(gemm::trace(&gemm::GemmCase::square(4096), Variant::Tc)))
     });
     g.finish();
 }

@@ -3,11 +3,14 @@
 
 use std::time::Duration;
 
-use criterion::{Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, Criterion};
 use cubie_core::mma::{cc_mma_f64_m8n8k4, mma_b1_m8n8k128_and_popc, mma_f64_m8n8k4};
 use cubie_core::{LcgF64, OpCounters};
 
-fn quick<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(20)
         .warm_up_time(Duration::from_millis(300))
@@ -115,5 +118,11 @@ fn bench_analysis(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mma, bench_sparse, bench_graph, bench_analysis);
+criterion_group!(
+    benches,
+    bench_mma,
+    bench_sparse,
+    bench_graph,
+    bench_analysis
+);
 criterion_main!(benches);

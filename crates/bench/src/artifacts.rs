@@ -1,0 +1,1110 @@
+//! The canonical artifact layer: every figure/table binary (and
+//! `observations`) routes its output through one of these builders, so
+//! the data behind each CSV also exists as a schema-versioned canonical
+//! JSON document (`results/<name>.json`) that the golden-regression
+//! harness (`cubie golden record|check`) can snapshot and diff.
+//!
+//! Column classes follow the contract in `cubie-golden`:
+//!
+//! * **exact** — emulator numerics (Table 6 FP64 error stats) and
+//!   instruction/byte counters (`trace_counters`): a refactor of the MMA
+//!   emulator or kernels must not move one ulp or one count;
+//! * **epsilon** — simulated times, throughputs, power, energy, EDP and
+//!   PCA coordinates: small model-parameter drift is tolerated;
+//! * **ordinal** — who-wins / limiter / quadrant claims: the paper's
+//!   observations must keep their *direction* even if magnitudes drift.
+//!
+//! [`GoldenCtx`] pins the reduced scale the committed goldens under
+//! `results/golden/` are recorded at, and lazily shares one sweep (and
+//! one Table 6 run) across all builders in a record/check pass.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use cubie_analysis::advisor::{advise, reference_mapping};
+use cubie_analysis::coverage::{
+    graph_corpus_study, matrix_corpus_study, suite_diversity_study, CorpusStudy, SuiteStudy,
+    TABLE7, TABLE7_FEATURES,
+};
+use cubie_analysis::errors::{table6, ErrorRow, ErrorScale};
+use cubie_analysis::quadrants::utilizations;
+use cubie_analysis::report;
+use cubie_device::{all_devices, b200, DeviceSpec, PEAK_EVOLUTION};
+use cubie_golden::{Artifact, Column, Json};
+use cubie_kernels::{Quadrant, Variant, Workload};
+use cubie_sim::{power_report, power_trace, Roofline};
+
+use crate::fig7_repeats;
+use crate::sweep::{Sweep, SweepConfig, SweepRunner};
+
+/// Relative tolerance for simulated times/throughput/power/energy/EDP.
+pub const TIME_EPS: f64 = 1e-6;
+/// Relative tolerance for PCA coordinates and other derived statistics.
+pub const STAT_EPS: f64 = 1e-6;
+/// Lenient tolerance for observation magnitudes (their *direction* is
+/// what the ordinal claim column pins).
+pub const OBS_EPS: f64 = 1e-3;
+
+/// Sparse-matrix scale divisor the goldens are recorded at.
+pub const GOLDEN_SPARSE_SCALE: usize = 64;
+/// Graph scale divisor the goldens are recorded at.
+pub const GOLDEN_GRAPH_SCALE: usize = 512;
+
+/// Scale/scope configuration of a golden record/check pass.
+#[derive(Debug, Clone)]
+pub struct GoldenConfig {
+    /// Table 4 sparse-matrix scale divisor.
+    pub sparse_scale: usize,
+    /// Table 3 graph scale divisor.
+    pub graph_scale: usize,
+    /// Figure 10 synthetic matrix-corpus size.
+    pub matrix_corpus: usize,
+    /// Figure 10 synthetic graph-corpus size.
+    pub graph_corpus: usize,
+    /// Samples per Figure 8 power trace.
+    pub power_samples: usize,
+    /// Table 6 case sizing.
+    pub error_scale: ErrorScale,
+    /// Workloads in scope (Table 2 order).
+    pub workloads: Vec<Workload>,
+}
+
+impl Default for GoldenConfig {
+    fn default() -> Self {
+        GoldenConfig {
+            sparse_scale: GOLDEN_SPARSE_SCALE,
+            graph_scale: GOLDEN_GRAPH_SCALE,
+            matrix_corpus: 80,
+            graph_corpus: 40,
+            power_samples: 24,
+            error_scale: ErrorScale::Quick,
+            workloads: Workload::ALL.to_vec(),
+        }
+    }
+}
+
+/// Shared state of one record/check pass: the configuration plus the
+/// lazily-built sweep and Table 6 rows every builder projects from.
+pub struct GoldenCtx {
+    /// The pinned scales/scopes.
+    pub config: GoldenConfig,
+    sweep: OnceLock<Sweep>,
+    errors: OnceLock<Vec<ErrorRow>>,
+}
+
+impl GoldenCtx {
+    /// A context over `config`.
+    pub fn new(config: GoldenConfig) -> Self {
+        GoldenCtx {
+            config,
+            sweep: OnceLock::new(),
+            errors: OnceLock::new(),
+        }
+    }
+
+    /// The full workload × case × variant × device sweep at the golden
+    /// scale (built once, via the process-global sweep cache).
+    pub fn sweep(&self) -> &Sweep {
+        self.sweep.get_or_init(|| {
+            let cfg = SweepConfig {
+                workloads: self.config.workloads.clone(),
+                sparse_scale: self.config.sparse_scale,
+                graph_scale: self.config.graph_scale,
+                ..SweepConfig::default()
+            };
+            SweepRunner::new(cfg).run()
+        })
+    }
+
+    /// The Table 6 error study at the golden scale (built once).
+    pub fn errors(&self) -> &[ErrorRow] {
+        self.errors.get_or_init(|| table6(self.config.error_scale))
+    }
+}
+
+/// Names of every artifact the golden harness records and checks, in
+/// check order. (The `ext_segmented_sweep` binary also emits a canonical
+/// artifact, but its 16M-element cases are too heavy for the CI gate.)
+pub const GOLDEN_ARTIFACTS: &[&str] = &[
+    "fig3_performance",
+    "fig4_tc_vs_baseline",
+    "fig5_cc_vs_tc",
+    "fig6_cce_vs_tc",
+    "fig7_edp",
+    "fig8_power_traces",
+    "fig9_roofline",
+    "fig10_corpus_pca",
+    "fig11_suite_pca",
+    "fig12_peak_evolution",
+    "table5_specs",
+    "table6_errors",
+    "table7_coverage",
+    "table234_inventory",
+    "trace_counters",
+    "observations",
+    "ext_advisor_validation",
+    "ext_future_fp64",
+];
+
+/// Build one golden artifact by name (`None` for unknown names).
+pub fn build(ctx: &GoldenCtx, name: &str) -> Option<Artifact> {
+    let c = &ctx.config;
+    Some(match name {
+        "fig3_performance" => fig3(ctx.sweep()),
+        "fig4_tc_vs_baseline" => fig4(ctx.sweep()),
+        "fig5_cc_vs_tc" => fig5(ctx.sweep()),
+        "fig6_cce_vs_tc" => fig6(ctx.sweep()),
+        "fig7_edp" => fig7(ctx.sweep()),
+        "fig8_power_traces" => fig8(ctx.sweep(), c.power_samples),
+        "fig9_roofline" => fig9(ctx.sweep()),
+        "fig10_corpus_pca" => fig10(c.matrix_corpus, c.graph_corpus),
+        "fig11_suite_pca" => fig11(c.sparse_scale, c.graph_scale),
+        "fig12_peak_evolution" => fig12(),
+        "table5_specs" => table5(),
+        "table6_errors" => table6_artifact(ctx.errors(), c.error_scale),
+        "table7_coverage" => table7(),
+        "table234_inventory" => table234(c.sparse_scale, c.graph_scale),
+        "trace_counters" => trace_counters(ctx.sweep()),
+        "observations" => observations(ctx.sweep(), ctx.errors()),
+        "ext_advisor_validation" => ext_advisor(ctx.sweep()),
+        "ext_future_fp64" => ext_future(ctx.sweep()),
+        _ => return None,
+    })
+}
+
+/// The committed golden-snapshot store: `results/golden/` (override
+/// with `CUBIE_GOLDEN_DIR`, e.g. from integration tests).
+pub fn golden_dir() -> PathBuf {
+    let dir = match std::env::var("CUBIE_GOLDEN_DIR") {
+        Ok(d) => PathBuf::from(d),
+        Err(_) => report::results_dir().join("golden"),
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write `artifact` as both CSV and canonical JSON under `results/`,
+/// returning the two paths.
+pub fn emit(artifact: &Artifact) -> std::io::Result<(PathBuf, PathBuf)> {
+    let dir = report::results_dir();
+    let (headers, rows) = artifact.csv();
+    let csv_path = dir.join(format!("{}.csv", artifact.name));
+    report::write_csv(&csv_path, &headers, &rows)?;
+    let json_path = dir.join(format!("{}.json", artifact.name));
+    artifact.write(&json_path)?;
+    Ok((csv_path, json_path))
+}
+
+/// [`emit`], then print the standard `wrote …` trailer of the harness
+/// binaries.
+pub fn emit_and_announce(artifact: &Artifact) {
+    let (csv, json) = emit(artifact).expect("write artifact");
+    println!("\nwrote {} and {}", csv.display(), json.display());
+}
+
+fn scale_meta(a: Artifact, sweep: &Sweep) -> Artifact {
+    a.with_meta("sparse_scale", sweep.config.sparse_scale)
+        .with_meta("graph_scale", sweep.config.graph_scale)
+}
+
+/// The device the paper pins single-device studies to (H200), or the
+/// sweep's first device when H200 was filtered out.
+fn pinned_device(sweep: &Sweep) -> DeviceSpec {
+    let devs = sweep.devices();
+    devs.iter()
+        .find(|d| d.name.contains("H200"))
+        .unwrap_or(&devs[0])
+        .clone()
+}
+
+/// Figure 3: absolute performance of every swept cell.
+pub fn fig3(sweep: &Sweep) -> Artifact {
+    let mut a = Artifact::new(
+        "fig3_performance",
+        vec![
+            Column::exact("workload").key(),
+            Column::exact("device").key(),
+            Column::exact("case").key(),
+            Column::exact("variant").key(),
+            Column::eps("time_s", TIME_EPS),
+            Column::eps("gthroughput", TIME_EPS),
+        ],
+    );
+    for c in &sweep.cells {
+        a.push(vec![
+            c.workload.spec().name.into(),
+            c.device.as_str().into(),
+            c.case.as_str().into(),
+            c.variant.label().into(),
+            c.time_s().into(),
+            c.gthroughput().into(),
+        ]);
+    }
+    scale_meta(a, sweep)
+}
+
+fn speedup_artifact(
+    name: &str,
+    sweep: &Sweep,
+    num: Variant,
+    den: Variant,
+    include: impl Fn(Workload) -> bool,
+) -> Artifact {
+    let mut a = Artifact::new(
+        name,
+        vec![
+            Column::exact("workload").key(),
+            Column::exact("device").key(),
+            Column::eps("speedup", TIME_EPS),
+            Column::ordinal("wins"),
+        ],
+    );
+    for &w in sweep.workloads() {
+        if !include(w) {
+            continue;
+        }
+        for dev in sweep.devices() {
+            let Some(s) = sweep.geomean_speedup(w, &dev.name, num, den) else {
+                continue;
+            };
+            let wins = if s > 1.0 { num.label() } else { den.label() };
+            a.push(vec![
+                w.spec().name.into(),
+                dev.name.as_str().into(),
+                s.into(),
+                wins.into(),
+            ]);
+        }
+    }
+    scale_meta(a, sweep)
+}
+
+/// Figure 4: geomean TC speedup over the baselines, with the who-wins
+/// direction as an ordinal claim.
+pub fn fig4(sweep: &Sweep) -> Artifact {
+    speedup_artifact(
+        "fig4_tc_vs_baseline",
+        sweep,
+        Variant::Tc,
+        Variant::Baseline,
+        |w| w.spec().baseline.is_some(),
+    )
+}
+
+/// Figure 5: geomean CC speedup over TC.
+pub fn fig5(sweep: &Sweep) -> Artifact {
+    speedup_artifact("fig5_cc_vs_tc", sweep, Variant::Cc, Variant::Tc, |_| true)
+}
+
+/// Figure 6: geomean CC-E speedup over TC (Quadrants II–IV).
+pub fn fig6(sweep: &Sweep) -> Artifact {
+    speedup_artifact("fig6_cce_vs_tc", sweep, Variant::CcE, Variant::Tc, |w| {
+        w.spec().distinct_cce
+    })
+}
+
+/// Figure 7: EDP on the pinned device, representative case, paper
+/// repeat counts.
+pub fn fig7(sweep: &Sweep) -> Artifact {
+    let dev = pinned_device(sweep);
+    let mut a = Artifact::new(
+        "fig7_edp",
+        vec![
+            Column::exact("workload").key(),
+            Column::exact("variant").key(),
+            Column::eps("avg_power_w", TIME_EPS),
+            Column::eps("time_s", TIME_EPS),
+            Column::eps("energy_j", TIME_EPS),
+            Column::eps("edp", TIME_EPS),
+        ],
+    );
+    for &w in sweep.workloads() {
+        let repeats = fig7_repeats(w);
+        for v in [Variant::Baseline, Variant::Tc, Variant::Cc, Variant::CcE] {
+            let Some(cell) = sweep.cell(w, 2, v, &dev.name) else {
+                continue;
+            };
+            let r = power_report(&dev, &cell.timing, repeats);
+            let mut row: Vec<Json> = vec![w.spec().name.into(), v.label().into()];
+            row.extend(r.named_fields().iter().map(|(_, v)| Json::Float(*v)));
+            a.push(row);
+        }
+    }
+    scale_meta(a, sweep)
+        .with_meta("device", dev.name.as_str())
+        .with_meta("case_idx", 2usize)
+}
+
+/// Figure 8: EMA-smoothed power traces on the pinned device.
+pub fn fig8(sweep: &Sweep, samples: usize) -> Artifact {
+    let dev = pinned_device(sweep);
+    let mut a = Artifact::new(
+        "fig8_power_traces",
+        vec![
+            Column::exact("workload").key(),
+            Column::exact("variant").key(),
+            Column::exact("sample").key(),
+            Column::eps("t_s", TIME_EPS),
+            Column::eps("power_w", TIME_EPS),
+        ],
+    );
+    for &w in sweep.workloads() {
+        let repeats = fig7_repeats(w);
+        for v in sweep.config.variants_of(w) {
+            let Some(cell) = sweep.cell(w, 2, v, &dev.name) else {
+                continue;
+            };
+            let total = cell.timing.total_s * repeats as f64 + 1.0;
+            let dt = total / samples as f64;
+            for (i, s) in power_trace(&dev, &cell.timing, repeats, dt)
+                .iter()
+                .enumerate()
+            {
+                a.push(vec![
+                    w.spec().name.into(),
+                    v.label().into(),
+                    i.into(),
+                    s.t_s.into(),
+                    s.power_w.into(),
+                ]);
+            }
+        }
+    }
+    scale_meta(a, sweep)
+        .with_meta("device", dev.name.as_str())
+        .with_meta("case_idx", 2usize)
+        .with_meta("samples", samples)
+}
+
+/// Figure 9: cache-aware roofline placements on the pinned device (BFS
+/// excluded: bitwise work has no FP64 placement).
+pub fn fig9(sweep: &Sweep) -> Artifact {
+    let dev = pinned_device(sweep);
+    let roof = Roofline::of(&dev);
+    let mut a = Artifact::new(
+        "fig9_roofline",
+        vec![
+            Column::exact("kernel").key(),
+            Column::eps("ai", STAT_EPS),
+            Column::eps("gflops", TIME_EPS),
+            Column::ordinal("dram_bound"),
+        ],
+    );
+    for &w in sweep.workloads() {
+        if w == Workload::Bfs {
+            continue;
+        }
+        for v in sweep.config.variants_of(w) {
+            let Some(cell) = sweep.cell(w, 2, v, &dev.name) else {
+                continue;
+            };
+            let name = format!("{}-{}", w.spec().name, v.label());
+            if let Some(p) = roof.place(&name, &cell.timing) {
+                let above = p.gflops > roof.dram_bound(p.ai);
+                a.push(vec![
+                    name.into(),
+                    p.ai.into(),
+                    p.gflops.into(),
+                    if above {
+                        "above_dram_roof"
+                    } else {
+                        "below_dram_roof"
+                    }
+                    .into(),
+                ]);
+            }
+        }
+    }
+    scale_meta(a, sweep)
+        .with_meta("device", dev.name.as_str())
+        .with_meta("case_idx", 2usize)
+}
+
+fn push_corpus_study(a: &mut Artifact, study_name: &str, study: &CorpusStudy) {
+    for (kind, points) in [
+        ("corpus", &study.corpus),
+        ("representative", &study.representatives),
+    ] {
+        for p in points {
+            a.push(vec![
+                study_name.into(),
+                kind.into(),
+                p.name.as_str().into(),
+                p.xy[0].into(),
+                p.xy[1].into(),
+            ]);
+        }
+    }
+}
+
+/// Figure 10: input-coverage PCA of the synthetic matrix/graph corpora.
+pub fn fig10(matrix_corpus: usize, graph_corpus: usize) -> Artifact {
+    fig10_from(
+        &graph_corpus_study(graph_corpus, 64, 0xF16A),
+        &matrix_corpus_study(matrix_corpus, 8, 0xF16B),
+        matrix_corpus,
+        graph_corpus,
+    )
+}
+
+/// [`fig10`] from already-computed studies (the binary prints them too).
+pub fn fig10_from(
+    graphs: &CorpusStudy,
+    matrices: &CorpusStudy,
+    matrix_corpus: usize,
+    graph_corpus: usize,
+) -> Artifact {
+    let mut a = Artifact::new(
+        "fig10_corpus_pca",
+        vec![
+            Column::exact("study").key(),
+            Column::exact("kind").key(),
+            Column::exact("point").key(),
+            Column::eps("pc1", STAT_EPS),
+            Column::eps("pc2", STAT_EPS),
+        ],
+    );
+    push_corpus_study(&mut a, "graphs", graphs);
+    push_corpus_study(&mut a, "matrices", matrices);
+    a.with_meta("matrix_corpus", matrix_corpus)
+        .with_meta("graph_corpus", graph_corpus)
+}
+
+/// Figure 11: suite-diversity PCA (Rodinia / SHOC / Cubie) on H200.
+pub fn fig11(sparse_scale: usize, graph_scale: usize) -> Artifact {
+    let study = suite_diversity_study(&cubie_device::h200(), sparse_scale, graph_scale);
+    fig11_from(&study, sparse_scale, graph_scale)
+}
+
+/// [`fig11`] from an already-computed study.
+pub fn fig11_from(study: &SuiteStudy, sparse_scale: usize, graph_scale: usize) -> Artifact {
+    let mut a = Artifact::new(
+        "fig11_suite_pca",
+        vec![
+            Column::exact("suite").key(),
+            Column::exact("workload").key(),
+            Column::eps("pc1", STAT_EPS),
+            Column::eps("pc2", STAT_EPS),
+        ],
+    );
+    for (name, suite, xy) in &study.points {
+        a.push(vec![
+            (*suite).into(),
+            name.as_str().into(),
+            xy[0].into(),
+            xy[1].into(),
+        ]);
+    }
+    a.with_meta("sparse_scale", sparse_scale)
+        .with_meta("graph_scale", graph_scale)
+}
+
+/// Figure 12: peak-throughput evolution (device constants, bit-exact).
+pub fn fig12() -> Artifact {
+    let mut a = Artifact::new(
+        "fig12_peak_evolution",
+        vec![
+            Column::exact("arch").key(),
+            Column::exact("fp16_tc"),
+            Column::exact("fp16_cc"),
+            Column::exact("fp64_tc"),
+            Column::exact("fp64_cc"),
+        ],
+    );
+    for g in &PEAK_EVOLUTION {
+        a.push(vec![
+            g.arch.to_string().into(),
+            g.fp16_tc.into(),
+            g.fp16_cc.into(),
+            g.fp64_tc.into(),
+            g.fp64_cc.into(),
+        ]);
+    }
+    a
+}
+
+/// Table 5: device specifications (constants, bit-exact).
+pub fn table5() -> Artifact {
+    let mut a = Artifact::new(
+        "table5_specs",
+        vec![
+            Column::exact("device").key(),
+            Column::exact("tc_fp64"),
+            Column::exact("cc_fp64"),
+            Column::exact("dram_gbs"),
+            Column::exact("dram_gb"),
+            Column::exact("sms"),
+            Column::exact("tdp_w"),
+        ],
+    );
+    for d in all_devices() {
+        a.push(vec![
+            d.name.as_str().into(),
+            d.tc_fp64_tflops.into(),
+            d.cc_fp64_tflops.into(),
+            d.dram_bw_gbs.into(),
+            d.dram_gb.into(),
+            d.sm_count.into(),
+            d.power.tdp_w.into(),
+        ]);
+    }
+    a
+}
+
+/// Table 6: FP64 error statistics — **bit-exact**: these are the
+/// emulator's numerics, the most regression-sensitive artifact of the
+/// suite (a one-ulp change in the MMA accumulation chain lands here).
+pub fn table6_artifact(rows: &[ErrorRow], scale: ErrorScale) -> Artifact {
+    let mut a = Artifact::new(
+        "table6_errors",
+        vec![
+            Column::exact("workload").key(),
+            Column::exact("variant").key(),
+            Column::exact("case"),
+            Column::exact("avg_error"),
+            Column::exact("max_error"),
+            Column::exact("n"),
+        ],
+    );
+    for r in rows {
+        let w = r.workload.spec().name;
+        let mut push = |variant: &str, e: cubie_core::ErrorStats| {
+            a.push(vec![
+                w.into(),
+                variant.into(),
+                r.case_label.as_str().into(),
+                e.avg.into(),
+                e.max.into(),
+                e.n.into(),
+            ]);
+        };
+        if let Some(b) = r.baseline {
+            push("Baseline", b);
+        }
+        push("TC/CC", r.tc_cc);
+        if let Some(c) = r.cce {
+            push("CC-E", c);
+        }
+    }
+    a.with_meta(
+        "error_scale",
+        if scale == ErrorScale::Quick {
+            "quick"
+        } else {
+            "full"
+        },
+    )
+}
+
+/// Table 7: dwarf/feature coverage counts (constants, bit-exact).
+pub fn table7() -> Artifact {
+    let mut a = Artifact::new(
+        "table7_coverage",
+        vec![
+            Column::exact("dwarf_or_feature").key(),
+            Column::exact("rodinia"),
+            Column::exact("shoc"),
+            Column::exact("cubie"),
+        ],
+    );
+    for r in &TABLE7 {
+        a.push(vec![
+            r.dwarf.into(),
+            u64::from(r.rodinia).into(),
+            u64::from(r.shoc).into(),
+            u64::from(r.cubie).into(),
+        ]);
+    }
+    for (feature, suites) in &TABLE7_FEATURES {
+        a.push(vec![
+            (*feature).into(),
+            suites[0].into(),
+            suites[1].into(),
+            suites[2].into(),
+        ]);
+    }
+    a
+}
+
+/// Tables 2/3/4: the workload inventory and the generated graph/matrix
+/// sizes at the current scale, in long `(table, name, field, value)`
+/// form — all bit-exact (generator output sizes are integer counters).
+pub fn table234(sparse_scale: usize, graph_scale: usize) -> Artifact {
+    let mut a = Artifact::new(
+        "table234_inventory",
+        vec![
+            Column::exact("table").key(),
+            Column::exact("name").key(),
+            Column::exact("field").key(),
+            Column::exact("value"),
+        ],
+    );
+    let mut push = |table: &str, name: &str, field: &str, value: Json| {
+        a.push(vec![table.into(), name.into(), field.into(), value]);
+    };
+    for w in Workload::ALL {
+        let s = w.spec();
+        push("T2", s.name, "quadrant", format!("Q{}", s.quadrant).into());
+        push("T2", s.name, "dwarf", s.dwarf.into());
+        push("T2", s.name, "baseline", s.baseline.unwrap_or("-").into());
+        // Labels are scale-independent; the tiny 1/64, 1/1024 scale keeps
+        // this preparation negligible (same trick as the table binary).
+        push(
+            "T2",
+            s.name,
+            "cases",
+            crate::sweep::case_labels(w, 64, 1024).join(", ").into(),
+        );
+    }
+    for (info, g) in cubie_graph::generators::table3_graphs(graph_scale) {
+        push("T3", info.name, "paper_vertices", info.vertices.into());
+        push("T3", info.name, "paper_edges", info.edges.into());
+        push("T3", info.name, "generated_vertices", g.n.into());
+        push("T3", info.name, "generated_arcs", g.num_arcs().into());
+    }
+    for (info, m) in cubie_sparse::generators::table4_matrices(sparse_scale) {
+        push("T4", info.name, "paper_rows", info.rows.into());
+        push("T4", info.name, "paper_nnz", info.nnz.into());
+        push("T4", info.name, "generated_rows", m.rows.into());
+        push("T4", info.name, "generated_nnz", m.nnz().into());
+    }
+    a.with_meta("sparse_scale", sparse_scale)
+        .with_meta("graph_scale", graph_scale)
+}
+
+/// Instruction/byte counters of every swept (workload, case, variant)
+/// trace — **bit-exact**, the emulator's operational contract. Counters
+/// are device-independent, so one device's cells cover the sweep.
+pub fn trace_counters(sweep: &Sweep) -> Artifact {
+    let mut columns = vec![
+        Column::exact("workload").key(),
+        Column::exact("case").key(),
+        Column::exact("variant").key(),
+        Column::exact("kernel_launches"),
+    ];
+    columns.extend(
+        cubie_core::OpCounters::default()
+            .named_counts()
+            .iter()
+            .map(|(name, _)| Column::exact(name)),
+    );
+    let mut a = Artifact::new("trace_counters", columns);
+    let Some(first_device) = sweep.devices().first().map(|d| d.name.clone()) else {
+        return scale_meta(a, sweep);
+    };
+    for c in sweep.cells.iter().filter(|c| c.device == first_device) {
+        let mut row: Vec<Json> = vec![
+            c.workload.spec().name.into(),
+            c.case_idx.into(),
+            c.variant.label().into(),
+            c.timing.kernels.len().into(),
+        ];
+        row.extend(
+            c.timing
+                .total_ops
+                .named_counts()
+                .iter()
+                .map(|(_, v)| Json::from(*v)),
+        );
+        a.push(row);
+    }
+    scale_meta(a, sweep)
+}
+
+/// The nine observations (O1–O9) as measured, directional claims: the
+/// `claim` column is ordinal — magnitudes may drift inside `value`'s
+/// lenient epsilon, but a direction inversion (TC stops beating the
+/// baseline, EDP stops shrinking, Cubie stops being the widest suite)
+/// fails the check.
+pub fn observations(sweep: &Sweep, errors: &[ErrorRow]) -> Artifact {
+    let mut a = Artifact::new(
+        "observations",
+        vec![
+            Column::exact("observation").key(),
+            Column::exact("subject").key(),
+            Column::eps("value", OBS_EPS),
+            Column::ordinal("claim"),
+        ],
+    );
+    let dev = pinned_device(sweep);
+    let devs = sweep.devices();
+
+    // O1 — the Quadrant II–IV kernels ship dedicated MMU formats (a
+    // structural property of the suite, recorded as pure claims).
+    for &w in sweep.workloads() {
+        if w.spec().quadrant != Quadrant::I {
+            a.push(vec![
+                "O1".into(),
+                w.spec().name.into(),
+                Json::Null,
+                "mmu_format".into(),
+            ]);
+        }
+    }
+
+    // O2 — the four utilization quadrants.
+    for u in utilizations() {
+        if !sweep.workloads().contains(&u.workload) {
+            continue;
+        }
+        let spec = u.workload.spec();
+        a.push(vec![
+            "O2".into(),
+            format!("{} input_util", spec.name).into(),
+            u.input.into(),
+            format!("Q{}", spec.quadrant).into(),
+        ]);
+        a.push(vec![
+            "O2".into(),
+            format!("{} output_util", spec.name).into(),
+            u.output.into(),
+            format!("Q{}", spec.quadrant).into(),
+        ]);
+    }
+
+    // O3 — TC beats the baselines portably.
+    let (mut wins, mut total) = (0u64, 0u64);
+    for &w in sweep.workloads() {
+        if w.spec().baseline.is_none() {
+            continue;
+        }
+        for d in devs {
+            let Some(s) = sweep.geomean_speedup(w, &d.name, Variant::Tc, Variant::Baseline) else {
+                continue;
+            };
+            total += 1;
+            if s > 1.0 {
+                wins += 1;
+            }
+            a.push(vec![
+                "O3".into(),
+                format!("{} @ {}", w.spec().name, d.name).into(),
+                s.into(),
+                if s > 1.0 { "tc_wins" } else { "baseline_wins" }.into(),
+            ]);
+        }
+    }
+    a.push(vec![
+        "O3".into(),
+        "wins".into(),
+        Json::Null,
+        format!("{wins}/{total}").into(),
+    ]);
+
+    // O4 — CC retains a fraction of TC.
+    for &w in sweep.workloads() {
+        for d in devs {
+            let Some(s) = sweep.geomean_speedup(w, &d.name, Variant::Cc, Variant::Tc) else {
+                continue;
+            };
+            a.push(vec![
+                "O4".into(),
+                format!("{} @ {}", w.spec().name, d.name).into(),
+                s.into(),
+                if s <= 1.0 {
+                    "tc_retains_advantage"
+                } else {
+                    "cc_faster"
+                }
+                .into(),
+            ]);
+        }
+    }
+
+    // O5 — essential-only CC on the pinned device.
+    for &w in sweep.workloads().iter().filter(|w| w.spec().distinct_cce) {
+        let Some(s) = sweep.geomean_speedup(w, &dev.name, Variant::CcE, Variant::Tc) else {
+            continue;
+        };
+        a.push(vec![
+            "O5".into(),
+            w.spec().name.into(),
+            s.into(),
+            if s > 1.0 { "cce_wins" } else { "tc_wins" }.into(),
+        ]);
+    }
+
+    // O6 — per-quadrant EDP reduction on the pinned device.
+    for q in [Quadrant::I, Quadrant::II, Quadrant::III, Quadrant::IV] {
+        let mut tc = Vec::new();
+        let mut base = Vec::new();
+        for &w in sweep.workloads().iter().filter(|w| w.spec().quadrant == q) {
+            let repeats = fig7_repeats(w);
+            if let Some(c) = sweep.cell(w, 2, Variant::Tc, &dev.name) {
+                tc.push(power_report(&dev, &c.timing, repeats).edp);
+            }
+            if let Some(c) = sweep.cell(w, 2, Variant::Baseline, &dev.name) {
+                base.push(power_report(&dev, &c.timing, repeats).edp);
+            }
+        }
+        if !tc.is_empty() && !base.is_empty() {
+            let cut = 1.0 - report::geomean(&tc) / report::geomean(&base);
+            a.push(vec![
+                "O6".into(),
+                format!("Q{q}").into(),
+                cut.into(),
+                if cut > 0.0 {
+                    "edp_reduced"
+                } else {
+                    "edp_increased"
+                }
+                .into(),
+            ]);
+        }
+    }
+
+    // O7 — TC ≡ CC bit-identity (asserted inside the Table 6 run; the
+    // claim records that the assertion executed for the workload).
+    for r in errors {
+        if sweep.workloads().contains(&r.workload) {
+            a.push(vec![
+                "O7".into(),
+                r.workload.spec().name.into(),
+                r.tc_cc.max.into(),
+                "tc_cc_bit_identical".into(),
+            ]);
+        }
+    }
+
+    // O8 — MMU layouts regularize memory access.
+    for w in [Workload::Spmv, Workload::Gemv, Workload::Stencil] {
+        if !sweep.workloads().contains(&w) {
+            continue;
+        }
+        let (Some(tct), Some(bt)) = (
+            sweep.trace(w, 2, Variant::Tc),
+            sweep.trace(w, 2, Variant::Baseline),
+        ) else {
+            continue;
+        };
+        let frac = |ops: cubie_core::OpCounters| {
+            let t = ops.gmem_load.total() + ops.gmem_store.total();
+            if t == 0 {
+                1.0
+            } else {
+                (ops.gmem_load.coalesced + ops.gmem_store.coalesced) as f64 / t as f64
+            }
+        };
+        let (tf, bf) = (frac(tct.total_ops()), frac(bt.total_ops()));
+        a.push(vec![
+            "O8".into(),
+            w.spec().name.into(),
+            (tf - bf).into(),
+            if tf >= bf {
+                "tc_more_coalesced"
+            } else {
+                "baseline_more_coalesced"
+            }
+            .into(),
+        ]);
+    }
+
+    // O9 — Cubie spans wider behaviour than Rodinia/SHOC.
+    let study = suite_diversity_study(
+        &dev,
+        sweep.config.sparse_scale.max(8),
+        sweep.config.graph_scale.max(64),
+    );
+    let widest = study
+        .spread
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(s, _)| *s)
+        .unwrap_or("-");
+    for (suite, spread) in &study.spread {
+        a.push(vec![
+            "O9".into(),
+            (*suite).into(),
+            (*spread).into(),
+            if *suite == widest {
+                "widest"
+            } else {
+                "narrower"
+            }
+            .into(),
+        ]);
+    }
+
+    scale_meta(a, sweep)
+}
+
+/// Extension: advisor predictions vs measured TC-over-CC ratios.
+pub fn ext_advisor(sweep: &Sweep) -> Artifact {
+    let dev = pinned_device(sweep);
+    let mut a = Artifact::new(
+        "ext_advisor_validation",
+        vec![
+            Column::exact("workload").key(),
+            Column::exact("from"),
+            Column::eps("predicted", STAT_EPS),
+            Column::eps("actual", TIME_EPS),
+            Column::eps("ratio", STAT_EPS),
+            Column::ordinal("verdict"),
+            Column::ordinal("within_2x"),
+        ],
+    );
+    for &w in sweep.workloads() {
+        let cc_variant = if w.spec().distinct_cce {
+            Variant::CcE
+        } else {
+            Variant::Cc
+        };
+        let Some(cc_trace) = sweep.trace(w, 2, cc_variant) else {
+            continue;
+        };
+        let (Some(cc_cell), Some(tc_cell)) = (
+            sweep.cell(w, 2, cc_variant, &dev.name),
+            sweep.cell(w, 2, Variant::Tc, &dev.name),
+        ) else {
+            continue;
+        };
+        let adv = advise(&dev, cc_trace, &reference_mapping(w));
+        let actual = cc_cell.time_s() / tc_cell.time_s();
+        let ratio = adv.predicted_speedup / actual;
+        a.push(vec![
+            w.spec().name.into(),
+            cc_variant.label().into(),
+            adv.predicted_speedup.into(),
+            actual.into(),
+            ratio.into(),
+            format!("{:?}", adv.recommendation).into(),
+            ((0.5..2.0).contains(&ratio)).into(),
+        ]);
+    }
+    scale_meta(a, sweep)
+        .with_meta("device", dev.name.as_str())
+        .with_meta("case_idx", 2usize)
+}
+
+/// Extension: the hypothetical FP64-strengthened Blackwell.
+pub fn ext_future(sweep: &Sweep) -> Artifact {
+    let devs = sweep.devices();
+    let real = devs
+        .iter()
+        .find(|d| d.name.contains("B200"))
+        .unwrap_or(&devs[0])
+        .clone();
+    let mut hyp = b200();
+    hyp.name = "B200-HPC (hypothetical, FP64 TC ×2)".to_string();
+    hyp.tc_fp64_tflops = 80.0;
+    let mut a = Artifact::new(
+        "ext_future_fp64",
+        vec![
+            Column::exact("workload").key(),
+            Column::exact("quadrant"),
+            Column::eps("time_b200_s", TIME_EPS),
+            Column::eps("time_hpc_s", TIME_EPS),
+            Column::eps("gain", TIME_EPS),
+            Column::ordinal("direction"),
+        ],
+    );
+    for &w in sweep.workloads() {
+        let Some(cell) = sweep.cell(w, 2, Variant::Tc, &real.name) else {
+            continue;
+        };
+        let t_real = cell.time_s();
+        let Some(t_hyp) = sweep.time_on(&hyp, w, 2, Variant::Tc).map(|t| t.total_s) else {
+            continue;
+        };
+        let gain = t_real / t_hyp;
+        a.push(vec![
+            w.spec().name.into(),
+            format!("Q{}", w.spec().quadrant).into(),
+            t_real.into(),
+            t_hyp.into(),
+            gain.into(),
+            if gain >= 1.0 {
+                "faster_or_equal"
+            } else {
+                "slower"
+            }
+            .into(),
+        ]);
+    }
+    scale_meta(a, sweep)
+        .with_meta("device", real.name.as_str())
+        .with_meta("case_idx", 2usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepCache;
+    use std::sync::Arc;
+
+    fn quick_sweep() -> Sweep {
+        let cfg = SweepConfig {
+            workloads: vec![Workload::Scan, Workload::Reduction],
+            sparse_scale: 64,
+            graph_scale: 512,
+            ..SweepConfig::default()
+        };
+        SweepRunner::with_cache(cfg, Arc::new(SweepCache::default())).run()
+    }
+
+    #[test]
+    fn fig3_has_one_row_per_cell_and_round_trips() {
+        let sweep = quick_sweep();
+        let a = fig3(&sweep);
+        assert_eq!(a.rows.len(), sweep.cells.len());
+        let text = a.to_json().to_pretty_string();
+        let back = Artifact::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert!(cubie_golden::diff(&a, &back).passed());
+    }
+
+    #[test]
+    fn speedup_artifacts_carry_ordinal_wins() {
+        let sweep = quick_sweep();
+        let a = fig4(&sweep);
+        assert!(!a.rows.is_empty());
+        let wins_col = a.columns.iter().position(|c| c.name == "wins").unwrap();
+        assert!(matches!(
+            a.columns[wins_col].class,
+            cubie_golden::Class::Ordinal
+        ));
+        // Scan/Reduction TC beats the baselines on every device.
+        for row in &a.rows {
+            assert_eq!(row[wins_col].as_str(), Some("TC"));
+        }
+    }
+
+    #[test]
+    fn trace_counters_are_device_independent_ints() {
+        let sweep = quick_sweep();
+        let a = trace_counters(&sweep);
+        // One row per (workload, case, variant): 2 × 5 × 4.
+        assert_eq!(a.rows.len(), 2 * 5 * 4);
+        for row in &a.rows {
+            for cell in &row[3..] {
+                assert!(
+                    matches!(cell, Json::Int(_)),
+                    "counter cell {cell:?} not an int"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_artifacts_have_expected_shapes() {
+        assert_eq!(fig12().rows.len(), 3);
+        assert_eq!(table5().rows.len(), 3);
+        assert_eq!(table7().rows.len(), TABLE7.len() + TABLE7_FEATURES.len());
+    }
+
+    #[test]
+    fn registry_covers_every_name() {
+        let ctx = GoldenCtx::new(GoldenConfig {
+            workloads: vec![Workload::Scan],
+            ..GoldenConfig::default()
+        });
+        // Cheap structural check on the constant artifacts only; the
+        // sweep-backed ones are covered by the round-trip integration
+        // test. Unknown names must be rejected.
+        assert!(build(&ctx, "nonexistent").is_none());
+        for name in ["fig12_peak_evolution", "table5_specs", "table7_coverage"] {
+            assert!(GOLDEN_ARTIFACTS.contains(&name));
+            let a = build(&ctx, name).unwrap();
+            assert_eq!(a.name, name);
+        }
+    }
+}

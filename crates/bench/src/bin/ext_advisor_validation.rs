@@ -7,7 +7,7 @@
 
 use cubie_analysis::advisor::{advise, reference_mapping};
 use cubie_analysis::report;
-use cubie_bench::{SweepConfig, SweepRunner};
+use cubie_bench::{artifacts, SweepConfig, SweepRunner};
 use cubie_device::h200;
 use cubie_kernels::Variant;
 
@@ -56,9 +56,18 @@ fn main() {
     println!(
         "{}",
         report::markdown_table(
-            &["workload", "from", "predicted", "actual", "pred/actual", "verdict"],
+            &[
+                "workload",
+                "from",
+                "predicted",
+                "actual",
+                "pred/actual",
+                "verdict"
+            ],
             &rows
         )
     );
     println!("{within_2x}/{total} predictions within 2× of the measured ratio.");
+
+    artifacts::emit_and_announce(&artifacts::ext_advisor(&sweep));
 }

@@ -9,8 +9,8 @@
 //! hypothetical device reuses the cached traces via `Sweep::time_on`.
 
 use cubie_analysis::report;
-use cubie_bench::{SweepConfig, SweepRunner};
-use cubie_device::{DeviceSpec, b200};
+use cubie_bench::{artifacts, SweepConfig, SweepRunner};
+use cubie_device::{b200, DeviceSpec};
 use cubie_kernels::Variant;
 
 /// The hypothetical "Blackwell-HPC": FP64 TC peak restored to 2× CC,
@@ -57,7 +57,13 @@ fn main() {
     println!(
         "{}",
         report::markdown_table(
-            &["workload", "quadrant", "B200 TC time", "B200-HPC TC time", "gain"],
+            &[
+                "workload",
+                "quadrant",
+                "B200 TC time",
+                "B200-HPC TC time",
+                "gain"
+            ],
             &rows
         )
     );
@@ -67,4 +73,6 @@ fn main() {
          ride the unchanged 8 TB/s, exactly the trade the paper's conclusion describes.",
         report::geomean(&gains)
     );
+
+    artifacts::emit_and_announce(&artifacts::ext_future(&sweep));
 }

@@ -10,9 +10,10 @@
 //! (case × variant) fan-out.
 
 use cubie_analysis::report;
-use cubie_bench::SweepConfig;
+use cubie_bench::{artifacts, SweepConfig};
 use cubie_core::par::{par_map, set_max_workers};
-use cubie_kernels::segmented::{SegmentedCase, trace_reduce, trace_scan};
+use cubie_golden::{Artifact, Column};
+use cubie_kernels::segmented::{trace_reduce, trace_scan, SegmentedCase};
 use cubie_kernels::{Variant, Workload};
 use cubie_sim::time_workload;
 
@@ -21,7 +22,20 @@ fn main() {
     if let Some(jobs) = cfg.jobs {
         set_max_workers(jobs);
     }
-    for (name, which) in [("segmented scan", Workload::Scan), ("segmented reduction", Workload::Reduction)] {
+    let mut artifact = Artifact::new(
+        "ext_segmented_sweep",
+        vec![
+            Column::exact("workload").key(),
+            Column::exact("device").key(),
+            Column::exact("case").key(),
+            Column::exact("variant").key(),
+            Column::eps("gelems", artifacts::TIME_EPS),
+        ],
+    );
+    for (name, which) in [
+        ("segmented scan", Workload::Scan),
+        ("segmented reduction", Workload::Reduction),
+    ] {
         println!("# Extension — {name} throughput sweep (16M elements)\n");
         let cases = SegmentedCase::sweep();
         // Traces are variant × case independent: build the grid in
@@ -44,6 +58,13 @@ fn main() {
                         let timing = time_workload(dev, &traces[ci * n_variants + vi]);
                         let gelems = case.total() as f64 / timing.total_s / 1e9;
                         row.push(format!("{gelems:.1}"));
+                        artifact.push(vec![
+                            which.spec().name.into(),
+                            dev.name.as_str().into(),
+                            case.label().into(),
+                            Variant::ALL[vi].label().into(),
+                            gelems.into(),
+                        ]);
                     }
                     row
                 })
@@ -51,10 +72,7 @@ fn main() {
             println!("## {} (Gelem/s)\n", dev.name);
             println!(
                 "{}",
-                report::markdown_table(
-                    &["case", "Baseline", "TC", "CC", "CC-E"],
-                    &rows
-                )
+                report::markdown_table(&["case", "Baseline", "TC", "CC", "CC-E"], &rows)
             );
         }
     }
@@ -62,4 +80,6 @@ fn main() {
         "In the throughput regime every variant rides the DRAM roof — the paper's \
          single-block cases (Figures 3–6) are where the MMU's latency advantage shows."
     );
+
+    artifacts::emit_and_announce(&artifact);
 }

@@ -3,10 +3,11 @@
 //! five Table 3/4 representatives highlighted, plus the dispersion and
 //! range-coverage statistics of Section 10.
 
-use cubie_analysis::coverage::{CorpusStudy, graph_corpus_study, matrix_corpus_study};
+use cubie_analysis::coverage::{graph_corpus_study, matrix_corpus_study, CorpusStudy};
 use cubie_analysis::report;
+use cubie_bench::artifacts;
 
-fn summarize(name: &str, study: &CorpusStudy, csv: &mut Vec<Vec<String>>) {
+fn summarize(name: &str, study: &CorpusStudy) {
     println!("## {name}\n");
     println!("- corpus points:                {}", study.corpus.len());
     println!(
@@ -45,14 +46,6 @@ fn summarize(name: &str, study: &CorpusStudy, csv: &mut Vec<Vec<String>>) {
         "{}",
         report::markdown_table(&["representative", "PC1", "PC2"], &rows)
     );
-    for p in study.corpus.iter().chain(&study.representatives) {
-        csv.push(vec![
-            name.to_string(),
-            p.name.clone(),
-            format!("{:.5}", p.xy[0]),
-            format!("{:.5}", p.xy[1]),
-        ]);
-    }
 }
 
 fn main() {
@@ -68,13 +61,12 @@ fn main() {
         .unwrap_or(150);
 
     println!("# Figure 10 — input coverage PCA\n");
-    let mut csv = Vec::new();
     let graphs = graph_corpus_study(g_corpus, 64, 0xF16A);
-    summarize("graphs (Fig. 10a)", &graphs, &mut csv);
+    summarize("graphs (Fig. 10a)", &graphs);
     let matrices = matrix_corpus_study(m_corpus, 8, 0xF16B);
-    summarize("matrices (Fig. 10b)", &matrices, &mut csv);
+    summarize("matrices (Fig. 10b)", &matrices);
 
-    let path = report::results_dir().join("fig10_corpus_pca.csv");
-    report::write_csv(&path, &["study", "point", "pc1", "pc2"], &csv).unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::fig10_from(
+        &graphs, &matrices, m_corpus, g_corpus,
+    ));
 }

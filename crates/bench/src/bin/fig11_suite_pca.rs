@@ -3,12 +3,13 @@
 
 use cubie_analysis::coverage::suite_diversity_study;
 use cubie_analysis::report;
-use cubie_bench::{graph_scale, sparse_scale};
+use cubie_bench::{artifacts, graph_scale, sparse_scale};
 use cubie_device::h200;
 
 fn main() {
     let dev = h200();
-    let study = suite_diversity_study(&dev, sparse_scale(), graph_scale());
+    let (ss, gs) = (sparse_scale(), graph_scale());
+    let study = suite_diversity_study(&dev, ss, gs);
 
     println!("# Figure 11 — suite diversity PCA on {}\n", dev.name);
     let rows: Vec<Vec<String>> = study
@@ -34,21 +35,10 @@ fn main() {
         .iter()
         .map(|(s, v)| vec![s.to_string(), format!("{v:.3}")])
         .collect();
-    println!("{}", report::markdown_table(&["suite", "spread"], &spread_rows));
+    println!(
+        "{}",
+        report::markdown_table(&["suite", "spread"], &spread_rows)
+    );
 
-    let csv: Vec<Vec<String>> = study
-        .points
-        .iter()
-        .map(|(name, suite, xy)| {
-            vec![
-                suite.to_string(),
-                name.clone(),
-                format!("{:.5}", xy[0]),
-                format!("{:.5}", xy[1]),
-            ]
-        })
-        .collect();
-    let path = report::results_dir().join("fig11_suite_pca.csv");
-    report::write_csv(&path, &["suite", "workload", "pc1", "pc2"], &csv).unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::fig11_from(&study, ss, gs));
 }

@@ -3,6 +3,7 @@
 //! the paper's conclusion highlights.
 
 use cubie_analysis::report;
+use cubie_bench::artifacts;
 use cubie_device::PEAK_EVOLUTION;
 
 fn main() {
@@ -22,7 +23,13 @@ fn main() {
     println!(
         "{}",
         report::markdown_table(
-            &["arch", "FP16 tensor", "FP16 CUDA", "FP64 tensor", "FP64 CUDA"],
+            &[
+                "arch",
+                "FP16 tensor",
+                "FP16 CUDA",
+                "FP64 tensor",
+                "FP64 CUDA"
+            ],
             &rows
         )
     );
@@ -37,24 +44,5 @@ fn main() {
         blackwell.fp64_tc,
         (100.0 * blackwell.fp64_tc / hopper.fp64_tc) as i64
     );
-    let rows_csv: Vec<Vec<String>> = PEAK_EVOLUTION
-        .iter()
-        .map(|g| {
-            vec![
-                g.arch.to_string(),
-                g.fp16_tc.to_string(),
-                g.fp16_cc.to_string(),
-                g.fp64_tc.to_string(),
-                g.fp64_cc.to_string(),
-            ]
-        })
-        .collect();
-    let path = report::results_dir().join("fig12_peak_evolution.csv");
-    report::write_csv(
-        &path,
-        &["arch", "fp16_tc", "fp16_cc", "fp64_tc", "fp64_cc"],
-        &rows_csv,
-    )
-    .unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::fig12());
 }

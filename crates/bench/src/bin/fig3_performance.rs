@@ -3,11 +3,10 @@
 //! table projection of the shared sweep. Accepts `--filter`/`--jobs`.
 
 use cubie_analysis::report;
-use cubie_bench::SweepRunner;
+use cubie_bench::{artifacts, SweepRunner};
 
 fn main() {
     let sweep = SweepRunner::cli();
-    let mut csv_rows: Vec<Vec<String>> = Vec::new();
     for &w in sweep.workloads() {
         let spec = w.spec();
         println!("\n## {} ({})\n", spec.name, spec.perf_unit);
@@ -23,31 +22,15 @@ fn main() {
                         continue;
                     };
                     row.push(format!("{:.2}", c.gthroughput()));
-                    csv_rows.push(vec![
-                        spec.name.to_string(),
-                        dev.name.clone(),
-                        label.clone(),
-                        v.label().to_string(),
-                        format!("{:.6e}", c.time_s()),
-                        format!("{:.4}", c.gthroughput()),
-                    ]);
                 }
                 rows.push(row);
             }
             let mut headers = vec!["case"];
-            let labels: Vec<String> =
-                variants.iter().map(|v| v.label().to_string()).collect();
+            let labels: Vec<String> = variants.iter().map(|v| v.label().to_string()).collect();
             headers.extend(labels.iter().map(|s| s.as_str()));
             println!("### {}\n", dev.name);
             println!("{}", report::markdown_table(&headers, &rows));
         }
     }
-    let path = report::results_dir().join("fig3_performance.csv");
-    report::write_csv(
-        &path,
-        &["workload", "device", "case", "variant", "time_s", "gthroughput"],
-        &csv_rows,
-    )
-    .expect("write csv");
-    println!("\nwrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::fig3(&sweep));
 }

@@ -3,31 +3,20 @@
 //! projection of the shared sweep. Accepts `--filter`/`--jobs`.
 
 use cubie_analysis::report;
-use cubie_bench::SweepRunner;
+use cubie_bench::{artifacts, SweepRunner};
 use cubie_kernels::Variant;
 
 fn main() {
     let sweep = SweepRunner::cli();
     let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
     for &w in sweep.workloads() {
         if w.spec().baseline.is_none() {
             continue; // PiC has no baseline.
         }
-        let mut row = vec![
-            format!("Q{}", w.spec().quadrant),
-            w.spec().name.to_string(),
-        ];
+        let mut row = vec![format!("Q{}", w.spec().quadrant), w.spec().name.to_string()];
         for dev in sweep.devices() {
             match sweep.geomean_speedup(w, &dev.name, Variant::Tc, Variant::Baseline) {
-                Some(s) => {
-                    row.push(format!("{s:.2}x"));
-                    csv_rows.push(vec![
-                        w.spec().name.to_string(),
-                        dev.name.clone(),
-                        format!("{s:.4}"),
-                    ]);
-                }
+                Some(s) => row.push(format!("{s:.2}x")),
                 None => row.push("-".to_string()),
             }
         }
@@ -38,7 +27,5 @@ fn main() {
     headers.extend(sweep.devices().iter().map(|d| d.name.clone()));
     let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", report::markdown_table(&headers, &rows));
-    let path = report::results_dir().join("fig4_tc_vs_baseline.csv");
-    report::write_csv(&path, &["workload", "device", "speedup"], &csv_rows).unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::fig4(&sweep));
 }

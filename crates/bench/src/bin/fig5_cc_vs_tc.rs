@@ -4,28 +4,17 @@
 //! `--filter`/`--jobs`.
 
 use cubie_analysis::report;
-use cubie_bench::SweepRunner;
+use cubie_bench::{artifacts, SweepRunner};
 use cubie_kernels::Variant;
 
 fn main() {
     let sweep = SweepRunner::cli();
     let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
     for &w in sweep.workloads() {
-        let mut row = vec![
-            format!("Q{}", w.spec().quadrant),
-            w.spec().name.to_string(),
-        ];
+        let mut row = vec![format!("Q{}", w.spec().quadrant), w.spec().name.to_string()];
         for dev in sweep.devices() {
             match sweep.geomean_speedup(w, &dev.name, Variant::Cc, Variant::Tc) {
-                Some(s) => {
-                    row.push(format!("{s:.2}x"));
-                    csv_rows.push(vec![
-                        w.spec().name.to_string(),
-                        dev.name.clone(),
-                        format!("{s:.4}"),
-                    ]);
-                }
+                Some(s) => row.push(format!("{s:.2}x")),
                 None => row.push("-".to_string()),
             }
         }
@@ -36,7 +25,5 @@ fn main() {
     headers.extend(sweep.devices().iter().map(|d| d.name.clone()));
     let headers: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", report::markdown_table(&headers, &rows));
-    let path = report::results_dir().join("fig5_cc_vs_tc.csv");
-    report::write_csv(&path, &["workload", "device", "speedup"], &csv_rows).unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::fig5(&sweep));
 }

@@ -4,7 +4,7 @@
 //! power projection of the shared sweep pinned to (H200, case 2).
 
 use cubie_analysis::report;
-use cubie_bench::{SweepConfig, SweepRunner, fig7_repeats};
+use cubie_bench::{artifacts, fig7_repeats, SweepConfig, SweepRunner};
 use cubie_device::h200;
 use cubie_kernels::{Quadrant, Variant};
 use cubie_sim::power_report;
@@ -17,7 +17,6 @@ fn main() {
     let dev = &sweep.devices()[0];
 
     let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
     // edp[(quadrant, variant)] values for geomeans.
     let mut per_quadrant: Vec<(Quadrant, Variant, f64)> = Vec::new();
 
@@ -39,14 +38,6 @@ fn main() {
             let r = power_report(dev, &cell.timing, repeats);
             row.push(format!("{:.3e}", r.edp));
             per_quadrant.push((spec.quadrant, v, r.edp));
-            csv_rows.push(vec![
-                spec.name.to_string(),
-                v.label().to_string(),
-                format!("{:.4}", r.avg_power_w),
-                format!("{:.6e}", r.time_s),
-                format!("{:.6e}", r.energy_j),
-                format!("{:.6e}", r.edp),
-            ]);
         }
         rows.push(row);
     }
@@ -87,17 +78,15 @@ fn main() {
     println!(
         "{}",
         report::markdown_table(
-            &["quadrant", "TC geomean", "baseline geomean", "TC EDP reduction"],
+            &[
+                "quadrant",
+                "TC geomean",
+                "baseline geomean",
+                "TC EDP reduction"
+            ],
             &geo_rows
         )
     );
 
-    let path = report::results_dir().join("fig7_edp.csv");
-    report::write_csv(
-        &path,
-        &["workload", "variant", "avg_power_w", "time_s", "energy_j", "edp"],
-        &csv_rows,
-    )
-    .unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::fig7(&sweep));
 }

@@ -4,7 +4,7 @@
 //! of the shared sweep pinned to (H200, case 2).
 
 use cubie_analysis::report;
-use cubie_bench::{SweepConfig, SweepRunner, fig7_repeats};
+use cubie_bench::{artifacts, fig7_repeats, SweepConfig, SweepRunner};
 use cubie_device::h200;
 use cubie_sim::power_trace;
 
@@ -15,7 +15,6 @@ fn main() {
     let sweep = SweepRunner::new(cfg).run();
     let dev = &sweep.devices()[0];
 
-    let mut csv_rows = Vec::new();
     let mut rows = Vec::new();
     for &w in sweep.workloads() {
         let spec = w.spec();
@@ -32,14 +31,6 @@ fn main() {
             let trace = power_trace(dev, &cell.timing, repeats, dt);
             let peak = trace.iter().map(|s| s.power_w).fold(0.0f64, f64::max);
             row.push(format!("{peak:.0} W"));
-            for s in &trace {
-                csv_rows.push(vec![
-                    spec.name.to_string(),
-                    v.label().to_string(),
-                    format!("{:.4}", s.t_s),
-                    format!("{:.2}", s.power_w),
-                ]);
-            }
         }
         while row.len() < 5 {
             row.push("-".to_string());
@@ -53,7 +44,5 @@ fn main() {
         "{}",
         report::markdown_table(&["workload", "v1", "v2", "v3", "v4"], &rows)
     );
-    let path = report::results_dir().join("fig8_power_traces.csv");
-    report::write_csv(&path, &["workload", "variant", "t_s", "power_w"], &csv_rows).unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::fig8(&sweep, 200));
 }

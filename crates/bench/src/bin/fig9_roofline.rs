@@ -4,7 +4,7 @@
 //! a placement projection of the shared sweep pinned to (H200, case 2).
 
 use cubie_analysis::report;
-use cubie_bench::{SweepConfig, SweepRunner};
+use cubie_bench::{artifacts, SweepConfig, SweepRunner};
 use cubie_device::h200;
 use cubie_kernels::Workload;
 use cubie_sim::Roofline;
@@ -21,12 +21,20 @@ fn main() {
     println!("# Figure 9 — cache-aware roofline, {}\n", dev.name);
     println!("- DRAM bandwidth ceiling: {:.0} GB/s", roof.dram_bw_gbs);
     println!("- L1 bandwidth ceiling:   {:.0} GB/s", roof.l1_bw_gbs);
-    println!("- CUDA-core FP64 peak:    {:.0} GFLOP/s", roof.cc_peak_gflops);
-    println!("- Tensor-core FP64 peak:  {:.0} GFLOP/s", roof.tc_peak_gflops);
-    println!("- Ridge point:            {:.2} FLOP/byte\n", roof.ridge_ai());
+    println!(
+        "- CUDA-core FP64 peak:    {:.0} GFLOP/s",
+        roof.cc_peak_gflops
+    );
+    println!(
+        "- Tensor-core FP64 peak:  {:.0} GFLOP/s",
+        roof.tc_peak_gflops
+    );
+    println!(
+        "- Ridge point:            {:.2} FLOP/byte\n",
+        roof.ridge_ai()
+    );
 
     let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
     for &w in sweep.workloads() {
         let rep = 2usize;
         for v in sweep.config.variants_of(w) {
@@ -47,22 +55,21 @@ fn main() {
                         format!("{:.0}% of roof", 100.0 * p.gflops / bound)
                     },
                 ]);
-                csv_rows.push(vec![
-                    name,
-                    format!("{:.5}", p.ai),
-                    format!("{:.3}", p.gflops),
-                ]);
             }
         }
     }
     println!(
         "{}",
         report::markdown_table(
-            &["kernel", "AI (FLOP/B)", "GFLOP/s", "DRAM-roof bound", "position"],
+            &[
+                "kernel",
+                "AI (FLOP/B)",
+                "GFLOP/s",
+                "DRAM-roof bound",
+                "position"
+            ],
             &rows
         )
     );
-    let path = report::results_dir().join("fig9_roofline.csv");
-    report::write_csv(&path, &["kernel", "ai", "gflops"], &csv_rows).unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::fig9(&sweep));
 }

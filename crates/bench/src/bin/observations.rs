@@ -10,17 +10,21 @@
 //! [`SweepCell`]: cubie_bench::SweepCell
 
 use cubie_analysis::coverage::suite_diversity_study;
-use cubie_analysis::errors::{ErrorScale, table6};
+use cubie_analysis::errors::{table6, ErrorScale};
 use cubie_analysis::quadrants::utilizations;
 use cubie_analysis::report;
-use cubie_bench::{SweepRunner, fig7_repeats, graph_scale, sparse_scale};
+use cubie_bench::{artifacts, fig7_repeats, graph_scale, sparse_scale, SweepRunner};
 use cubie_kernels::{Quadrant, Variant, Workload};
 use cubie_sim::power_report;
 
 fn main() {
     let sweep = SweepRunner::cli();
     let devs = sweep.devices();
-    let h200 = devs.iter().find(|d| d.name.contains("H200")).unwrap_or(&devs[0]).clone();
+    let h200 = devs
+        .iter()
+        .find(|d| d.name.contains("H200"))
+        .unwrap_or(&devs[0])
+        .clone();
 
     println!("# The nine key observations, measured\n");
 
@@ -48,7 +52,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        report::markdown_table(&["workload", "quadrant", "input util", "output util"], &rows)
+        report::markdown_table(
+            &["workload", "quadrant", "input util", "output util"],
+            &rows
+        )
     );
 
     // O3 — TC vs baseline, portable.
@@ -68,7 +75,11 @@ fn main() {
             if s > 1.0 {
                 wins += 1;
             }
-            println!("  {:9} on {:12}: {s:.2}x", w.spec().name, dev.arch.to_string());
+            println!(
+                "  {:9} on {:12}: {s:.2}x",
+                w.spec().name,
+                dev.arch.to_string()
+            );
         }
     }
     println!("TC wins {wins}/{total} (workload, device) pairs.\n");
@@ -85,7 +96,11 @@ fn main() {
                     .unwrap_or_else(|| "-".into())
             })
             .collect();
-        println!("  {:9}: CC/TC = {} (A100/H200/B200)", w.spec().name, s.join(" / "));
+        println!(
+            "  {:9}: CC/TC = {} (A100/H200/B200)",
+            w.spec().name,
+            s.join(" / ")
+        );
     }
     println!();
 
@@ -138,9 +153,10 @@ fn main() {
     // O8 — memory regularization.
     println!("## O8 — MMU layouts regularize memory access");
     for w in [Workload::Spmv, Workload::Gemv, Workload::Stencil] {
-        let (Some(tct), Some(bt)) =
-            (sweep.trace(w, 2, Variant::Tc), sweep.trace(w, 2, Variant::Baseline))
-        else {
+        let (Some(tct), Some(bt)) = (
+            sweep.trace(w, 2, Variant::Tc),
+            sweep.trace(w, 2, Variant::Baseline),
+        ) else {
             continue;
         };
         let tco = tct.total_ops();
@@ -168,4 +184,6 @@ fn main() {
     for (suite, spread) in &study.spread {
         println!("  {suite:8}: PCA spread {spread:.3}");
     }
+
+    artifacts::emit_and_announce(&artifacts::observations(&sweep, &rows));
 }

@@ -3,7 +3,7 @@
 //! generators actually produce at the current scale.
 
 use cubie_analysis::report;
-use cubie_bench::{graph_scale, sparse_scale, sweep};
+use cubie_bench::{artifacts, graph_scale, sparse_scale, sweep};
 use cubie_graph::generators as graph_gen;
 use cubie_kernels::Workload;
 use cubie_sparse::generators as sparse_gen;
@@ -54,7 +54,14 @@ fn main() {
     println!(
         "{}",
         report::markdown_table(
-            &["graph", "group", "#vertices (paper)", "#edges (paper)", "#vertices (gen)", "#arcs (gen)"],
+            &[
+                "graph",
+                "group",
+                "#vertices (paper)",
+                "#edges (paper)",
+                "#vertices (gen)",
+                "#arcs (gen)"
+            ],
             &rows
         )
     );
@@ -78,8 +85,17 @@ fn main() {
     println!(
         "{}",
         report::markdown_table(
-            &["matrix", "group", "#rows (paper)", "#nnz (paper)", "#rows (gen)", "#nnz (gen)"],
+            &[
+                "matrix",
+                "group",
+                "#rows (paper)",
+                "#nnz (paper)",
+                "#rows (gen)",
+                "#nnz (gen)"
+            ],
             &rows
         )
     );
+
+    artifacts::emit_and_announce(&artifacts::table234(ss, gs));
 }

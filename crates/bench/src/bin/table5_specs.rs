@@ -1,7 +1,7 @@
 //! Table 5: the specifications of the three GPUs evaluated.
 
 use cubie_analysis::report;
-use cubie_bench::devices;
+use cubie_bench::{artifacts, devices};
 
 fn main() {
     println!("# Table 5 — device specifications\n");
@@ -34,12 +34,5 @@ fn main() {
             &rows
         )
     );
-    let path = report::results_dir().join("table5_specs.csv");
-    report::write_csv(
-        &path,
-        &["device", "tc_fp64", "cc_fp64", "dram_gbs", "dram_gb", "sms", "tdp_w"],
-        &rows,
-    )
-    .unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::table5());
 }

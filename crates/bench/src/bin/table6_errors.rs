@@ -5,8 +5,9 @@
 //!
 //! `CUBIE_ERRORS_QUICK=1` switches to the small test cases.
 
-use cubie_analysis::errors::{ErrorScale, table6};
+use cubie_analysis::errors::{table6, ErrorScale};
 use cubie_analysis::report;
+use cubie_bench::artifacts;
 
 fn main() {
     let scale = if std::env::var("CUBIE_ERRORS_QUICK").is_ok() {
@@ -39,43 +40,17 @@ fn main() {
     println!(
         "{}",
         report::markdown_table(
-            &["workload", "case", "Baseline avg/max", "TC=CC avg/max", "CC-E avg/max"],
+            &[
+                "workload",
+                "case",
+                "Baseline avg/max",
+                "TC=CC avg/max",
+                "CC-E avg/max"
+            ],
             &table
         )
     );
     println!("(TC and CC verified bit-identical for every workload — Observation 7.)");
 
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .flat_map(|r| {
-            let mut out = Vec::new();
-            let w = r.workload.spec().name.to_string();
-            if let Some(b) = r.baseline {
-                out.push(vec![
-                    w.clone(),
-                    "Baseline".into(),
-                    format!("{:e}", b.avg),
-                    format!("{:e}", b.max),
-                ]);
-            }
-            out.push(vec![
-                w.clone(),
-                "TC/CC".into(),
-                format!("{:e}", r.tc_cc.avg),
-                format!("{:e}", r.tc_cc.max),
-            ]);
-            if let Some(c) = r.cce {
-                out.push(vec![
-                    w,
-                    "CC-E".into(),
-                    format!("{:e}", c.avg),
-                    format!("{:e}", c.max),
-                ]);
-            }
-            out
-        })
-        .collect();
-    let path = report::results_dir().join("table6_errors.csv");
-    report::write_csv(&path, &["workload", "variant", "avg_error", "max_error"], &csv).unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::table6_artifact(&rows, scale));
 }

@@ -3,6 +3,7 @@
 
 use cubie_analysis::coverage::{TABLE7, TABLE7_FEATURES};
 use cubie_analysis::report;
+use cubie_bench::artifacts;
 
 fn main() {
     println!("# Table 7 — dwarf and feature coverage\n");
@@ -16,12 +17,7 @@ fn main() {
                     v.to_string()
                 }
             };
-            vec![
-                r.dwarf.to_string(),
-                n(r.rodinia),
-                n(r.shoc),
-                n(r.cubie),
-            ]
+            vec![r.dwarf.to_string(), n(r.rodinia), n(r.shoc), n(r.cubie)]
         })
         .collect();
     for (feature, suites) in TABLE7_FEATURES {
@@ -42,7 +38,5 @@ fn main() {
         TABLE7.iter().filter(|r| r.cubie > 0).count(),
         TABLE7_FEATURES.iter().filter(|(_, s)| s[2]).count()
     );
-    let path = report::results_dir().join("table7_coverage.csv");
-    report::write_csv(&path, &["dwarf_or_feature", "rodinia", "shoc", "cubie"], &rows).unwrap();
-    println!("wrote {}", path.display());
+    artifacts::emit_and_announce(&artifacts::table7());
 }

@@ -44,6 +44,8 @@
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
+pub mod smoke;
 pub mod sweep;
 
 use cubie_device::DeviceSpec;

@@ -1,0 +1,236 @@
+//! The perf smoke harness (`cubie bench-smoke`): a pinned, cheap subset
+//! of the sweep is executed end-to-end (preparation **included** — each
+//! repetition uses a private [`SweepCache`], so generator or trace-layer
+//! slowdowns are visible), the best-of-N wall time and the deterministic
+//! simulated totals are written to `results/BENCH_sweep.json`, and a
+//! committed baseline under `results/golden/` gates regressions:
+//!
+//! * cell counts and the summed simulated time must match the baseline
+//!   (epsilon `1e-9` — the simulation is deterministic, so this is a
+//!   correctness tripwire, not a perf one);
+//! * wall time may not exceed `factor ×` the baseline (default 4.0 —
+//!   generous, because CI machines are noisy and heterogeneous; override
+//!   with `CUBIE_SMOKE_FACTOR`).
+//!
+//! GEMM is deliberately excluded: its Table 2 cases are fixed-size (no
+//! scale knob), so it would dominate the smoke run's wall clock.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cubie_golden::{obj, Json};
+use cubie_kernels::Workload;
+
+use crate::sweep::{SweepCache, SweepConfig, SweepRunner};
+
+/// Schema tag of `BENCH_sweep.json`.
+pub const SMOKE_SCHEMA: &str = "cubie-bench-smoke/v1";
+
+/// Default regression threshold: wall time may grow this much over the
+/// committed baseline before the gate fails.
+pub const DEFAULT_FACTOR: f64 = 4.0;
+
+/// Workloads the smoke run sweeps — cheap representatives of the four
+/// quadrants (and the three input families: dense, sparse, graph).
+pub const SMOKE_WORKLOADS: [Workload; 4] = [
+    Workload::Scan,
+    Workload::Reduction,
+    Workload::Spmv,
+    Workload::Bfs,
+];
+
+/// Wall-time repetitions; the minimum is reported (standard practice for
+/// noisy timers).
+pub const SMOKE_REPS: usize = 3;
+
+/// [`SMOKE_REPS`], overridable via `CUBIE_SMOKE_REPS` (integration tests
+/// drop to 1 — a debug-profile sweep is seconds per rep).
+pub fn smoke_reps() -> usize {
+    std::env::var("CUBIE_SMOKE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(SMOKE_REPS)
+}
+
+/// The result of one smoke run.
+#[derive(Debug, Clone)]
+pub struct SmokeResult {
+    /// Number of timed cells in the pinned sweep.
+    pub cells: usize,
+    /// Sum of simulated cell times, seconds (deterministic).
+    pub sim_total_s: f64,
+    /// Best end-to-end wall time over [`SMOKE_REPS`] runs, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl SmokeResult {
+    /// Serialize as a `BENCH_sweep.json` document.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("schema", SMOKE_SCHEMA.into()),
+            (
+                "workloads",
+                Json::Array(
+                    SMOKE_WORKLOADS
+                        .iter()
+                        .map(|w| w.spec().name.into())
+                        .collect(),
+                ),
+            ),
+            ("reps", smoke_reps().into()),
+            ("cells", self.cells.into()),
+            ("sim_total_s", self.sim_total_s.into()),
+            ("wall_ms", self.wall_ms.into()),
+        ])
+    }
+
+    /// Parse a `BENCH_sweep.json` document.
+    pub fn from_json(doc: &Json) -> Result<SmokeResult, String> {
+        if doc.get("schema").and_then(Json::as_str) != Some(SMOKE_SCHEMA) {
+            return Err(format!("not a {SMOKE_SCHEMA} document"));
+        }
+        let field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric field `{name}`"))
+        };
+        Ok(SmokeResult {
+            cells: field("cells")? as usize,
+            sim_total_s: field("sim_total_s")?,
+            wall_ms: field("wall_ms")?,
+        })
+    }
+
+    /// Read a baseline from disk.
+    pub fn read(path: &Path) -> Result<SmokeResult, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        SmokeResult::from_json(&doc)
+    }
+}
+
+/// The pinned smoke sweep configuration.
+pub fn smoke_config() -> SweepConfig {
+    SweepConfig {
+        workloads: SMOKE_WORKLOADS.to_vec(),
+        sparse_scale: crate::artifacts::GOLDEN_SPARSE_SCALE,
+        graph_scale: crate::artifacts::GOLDEN_GRAPH_SCALE,
+        ..SweepConfig::default()
+    }
+}
+
+/// Run the smoke sweep [`smoke_reps`] times, each on a cold private
+/// cache, and report cell count, simulated total and best wall time.
+pub fn run_smoke() -> SmokeResult {
+    let mut best_ms = f64::INFINITY;
+    let mut cells = 0usize;
+    let mut sim_total_s = 0.0f64;
+    for _ in 0..smoke_reps() {
+        let start = Instant::now();
+        let sweep = SweepRunner::with_cache(smoke_config(), Arc::new(SweepCache::default())).run();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+        cells = sweep.cells.len();
+        sim_total_s = sweep.cells.iter().map(|c| c.time_s()).sum();
+    }
+    SmokeResult {
+        cells,
+        sim_total_s,
+        wall_ms: best_ms,
+    }
+}
+
+/// The regression threshold factor (`CUBIE_SMOKE_FACTOR` override).
+pub fn smoke_factor() -> f64 {
+    std::env::var("CUBIE_SMOKE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_FACTOR)
+}
+
+/// Gate `current` against `baseline`: returns the list of failures
+/// (empty = pass).
+pub fn check_smoke(current: &SmokeResult, baseline: &SmokeResult, factor: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    if current.cells != baseline.cells {
+        failures.push(format!(
+            "cell count changed: baseline {} vs current {} — the pinned sweep shape moved; \
+             re-record the baseline if intentional",
+            baseline.cells, current.cells
+        ));
+    }
+    let (a, b) = (current.sim_total_s, baseline.sim_total_s);
+    if (a - b).abs() > 1e-9 * b.abs().max(a.abs()) {
+        failures.push(format!(
+            "simulated total drifted: baseline {b:?} s vs current {a:?} s — the model \
+             changed; re-record the baseline (and the goldens) if intentional"
+        ));
+    }
+    if current.wall_ms > factor * baseline.wall_ms {
+        failures.push(format!(
+            "wall time regressed: baseline {:.0} ms vs current {:.0} ms (limit {factor}×)",
+            baseline.wall_ms, current.wall_ms
+        ));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SmokeResult {
+        SmokeResult {
+            cells: 55,
+            sim_total_s: 1.25,
+            wall_ms: 900.0,
+        }
+    }
+
+    #[test]
+    fn smoke_result_round_trips() {
+        let r = sample();
+        let text = r.to_json().to_pretty_string();
+        let back = SmokeResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.cells, r.cells);
+        assert_eq!(back.sim_total_s.to_bits(), r.sim_total_s.to_bits());
+        assert_eq!(back.wall_ms.to_bits(), r.wall_ms.to_bits());
+    }
+
+    #[test]
+    fn identical_results_pass() {
+        assert!(check_smoke(&sample(), &sample(), DEFAULT_FACTOR).is_empty());
+    }
+
+    #[test]
+    fn wall_regression_fails_only_beyond_factor() {
+        let base = sample();
+        let mut cur = sample();
+        cur.wall_ms = base.wall_ms * 3.9;
+        assert!(check_smoke(&cur, &base, DEFAULT_FACTOR).is_empty());
+        cur.wall_ms = base.wall_ms * 4.1;
+        let failures = check_smoke(&cur, &base, DEFAULT_FACTOR);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("wall time regressed"));
+    }
+
+    #[test]
+    fn sim_drift_and_shape_change_fail() {
+        let base = sample();
+        let mut cur = sample();
+        cur.sim_total_s += 1e-6;
+        cur.cells += 1;
+        let failures = check_smoke(&cur, &base, DEFAULT_FACTOR);
+        assert_eq!(failures.len(), 2);
+    }
+
+    #[test]
+    fn wall_speedup_passes() {
+        let base = sample();
+        let mut cur = sample();
+        cur.wall_ms = 1.0;
+        assert!(check_smoke(&cur, &base, DEFAULT_FACTOR).is_empty());
+    }
+}

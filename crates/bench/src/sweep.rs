@@ -28,9 +28,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use cubie_core::par::{par_map, set_max_workers};
-use cubie_device::{DeviceSpec, all_devices};
-use cubie_kernels::{Variant, Workload, prepare_cases};
-use cubie_sim::{WorkloadTiming, WorkloadTrace, time_workload};
+use cubie_device::{all_devices, DeviceSpec};
+use cubie_kernels::{prepare_cases, Variant, Workload};
+use cubie_sim::{time_workload, WorkloadTiming, WorkloadTrace};
 
 /// Case-level cache key: workload at a generation scale.
 type CaseKey = (Workload, usize, usize);
@@ -126,7 +126,10 @@ impl SweepCache {
 
 /// Case labels of a workload via the global cache (Table 2 column).
 pub fn case_labels(w: Workload, sparse_scale: usize, graph_scale: usize) -> Vec<String> {
-    SweepCache::global().ensure(w, sparse_scale, graph_scale).labels.clone()
+    SweepCache::global()
+        .ensure(w, sparse_scale, graph_scale)
+        .labels
+        .clone()
 }
 
 /// What to sweep: the filterable cross-product plus execution knobs.
@@ -161,7 +164,9 @@ impl Default for SweepConfig {
             cases: None,
             sparse_scale: crate::sparse_scale(),
             graph_scale: crate::graph_scale(),
-            jobs: std::env::var("CUBIE_JOBS").ok().and_then(|v| v.parse().ok()),
+            jobs: std::env::var("CUBIE_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
         }
     }
 }
@@ -180,7 +185,10 @@ impl SweepConfig {
                     ws.push(Workload::parse(v).ok_or_else(|| format!("unknown workload `{v}`"))?);
                 }
                 // Preserve Table 2 order regardless of filter order.
-                self.workloads = Workload::ALL.into_iter().filter(|w| ws.contains(w)).collect();
+                self.workloads = Workload::ALL
+                    .into_iter()
+                    .filter(|w| ws.contains(w))
+                    .collect();
             }
             "variant" | "v" => {
                 let mut vs = Vec::new();
@@ -205,8 +213,9 @@ impl SweepConfig {
             "case" | "c" => {
                 let mut cs = Vec::new();
                 for v in vals.split(',') {
-                    let idx: usize =
-                        v.parse().map_err(|_| format!("case index `{v}` is not 0–4"))?;
+                    let idx: usize = v
+                        .parse()
+                        .map_err(|_| format!("case index `{v}` is not 0–4"))?;
                     if idx > 4 {
                         return Err(format!("case index `{v}` is not 0–4"));
                     }
@@ -229,25 +238,28 @@ impl SweepConfig {
         let mut cfg = SweepConfig::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut value_of = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut value_of =
+                |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
             match arg.as_str() {
                 "--filter" | "-f" => cfg.apply_filter(&value_of("--filter")?)?,
                 "--jobs" | "-j" => {
                     let v = value_of("--jobs")?;
-                    cfg.jobs =
-                        Some(v.parse().map_err(|_| format!("--jobs `{v}` is not a number"))?);
+                    cfg.jobs = Some(
+                        v.parse()
+                            .map_err(|_| format!("--jobs `{v}` is not a number"))?,
+                    );
                 }
                 "--sparse-scale" => {
                     let v = value_of("--sparse-scale")?;
-                    cfg.sparse_scale =
-                        v.parse().map_err(|_| format!("--sparse-scale `{v}` is not a number"))?;
+                    cfg.sparse_scale = v
+                        .parse()
+                        .map_err(|_| format!("--sparse-scale `{v}` is not a number"))?;
                 }
                 "--graph-scale" => {
                     let v = value_of("--graph-scale")?;
-                    cfg.graph_scale =
-                        v.parse().map_err(|_| format!("--graph-scale `{v}` is not a number"))?;
+                    cfg.graph_scale = v
+                        .parse()
+                        .map_err(|_| format!("--graph-scale `{v}` is not a number"))?;
                 }
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -275,7 +287,12 @@ impl SweepConfig {
     pub fn variants_of(&self, w: Workload) -> Vec<Variant> {
         w.variants()
             .into_iter()
-            .filter(|v| self.variants.as_ref().map(|f| f.contains(v)).unwrap_or(true))
+            .filter(|v| {
+                self.variants
+                    .as_ref()
+                    .map(|f| f.contains(v))
+                    .unwrap_or(true)
+            })
             .collect()
     }
 
@@ -349,7 +366,13 @@ impl Sweep {
     }
 
     /// The cell of one (workload, case, variant, device), if swept.
-    pub fn cell(&self, w: Workload, case_idx: usize, v: Variant, device: &str) -> Option<&SweepCell> {
+    pub fn cell(
+        &self,
+        w: Workload,
+        case_idx: usize,
+        v: Variant,
+        device: &str,
+    ) -> Option<&SweepCell> {
         self.cells.iter().find(|c| {
             c.workload == w && c.case_idx == case_idx && c.variant == v && c.device == device
         })
@@ -361,7 +384,9 @@ impl Sweep {
         w: Workload,
         device: &'a str,
     ) -> impl Iterator<Item = &'a SweepCell> + 'a {
-        self.cells.iter().filter(move |c| c.workload == w && c.device == device)
+        self.cells
+            .iter()
+            .filter(move |c| c.workload == w && c.device == device)
     }
 
     /// The cached analytic trace behind a cell (`None` for unevaluated
@@ -533,7 +558,11 @@ mod tests {
                 c.workload.index(),
                 c.case_idx,
                 variants.iter().position(|v| *v == c.variant).unwrap(),
-                sweep.devices().iter().position(|d| d.name == c.device).unwrap(),
+                sweep
+                    .devices()
+                    .iter()
+                    .position(|d| d.name == c.device)
+                    .unwrap(),
             );
             if let Some(p) = prev {
                 assert!(key > p, "cells out of order: {key:?} after {p:?}");
@@ -559,7 +588,10 @@ mod tests {
         cfg.apply_filter("device=h200").unwrap();
         let sweep = SweepRunner::with_cache(cfg, Arc::new(SweepCache::default())).run();
         assert_eq!(sweep.cells.len(), 2); // 2 workloads × 1 × 1 × 1
-        assert!(sweep.cells.iter().all(|c| c.variant == Variant::Tc && c.case_idx == 2));
+        assert!(sweep
+            .cells
+            .iter()
+            .all(|c| c.variant == Variant::Tc && c.case_idx == 2));
     }
 
     #[test]

@@ -194,6 +194,33 @@ impl OpCounters {
         }
     }
 
+    /// Every counter as an ordered `(name, value)` list, memory traffic
+    /// flattened by coalescing class. This is the canonical export the
+    /// golden-artifact layer serializes: the order is part of the
+    /// `cubie-golden/v1` schema for instruction/byte counters, so keep
+    /// it stable (append new counters at the end).
+    pub fn named_counts(&self) -> [(&'static str, u64); 17] {
+        [
+            ("mma_f64", self.mma_f64),
+            ("mma_b1", self.mma_b1),
+            ("fma_f64", self.fma_f64),
+            ("add_f64", self.add_f64),
+            ("mul_f64", self.mul_f64),
+            ("special_f64", self.special_f64),
+            ("int_ops", self.int_ops),
+            ("gmem_load_coalesced", self.gmem_load.coalesced),
+            ("gmem_load_strided", self.gmem_load.strided),
+            ("gmem_load_random", self.gmem_load.random),
+            ("gmem_store_coalesced", self.gmem_store.coalesced),
+            ("gmem_store_strided", self.gmem_store.strided),
+            ("gmem_store_random", self.gmem_store.random),
+            ("l2_bytes", self.l2_bytes),
+            ("smem_bytes", self.smem_bytes),
+            ("cmem_bytes", self.cmem_bytes),
+            ("syncs", self.syncs),
+        ]
+    }
+
     /// Scale every counter by an integer factor.
     pub const fn scaled(self, k: u64) -> Self {
         Self {

@@ -1,21 +1,15 @@
 //! Property-based tests of the MMU emulation and core utilities.
 
-use cubie_core::counters::{MMA_F64_FLOPS, MemTraffic};
+use cubie_core::counters::{MemTraffic, MMA_F64_FLOPS};
 use cubie_core::frag::{pack_a_f64, pack_b_f64, pack_c_f64, unpack_c_f64};
 use cubie_core::mma::{
-    cc_mma_f64_m8n8k4, cc_mma_f64_8x8x8, mma_f64_8x8x8, mma_f64_m8n8k4, mma_tiled_f64,
+    cc_mma_f64_8x8x8, cc_mma_f64_m8n8k4, mma_f64_8x8x8, mma_f64_m8n8k4, mma_tiled_f64,
 };
 use cubie_core::{ErrorStats, OpCounters};
 use proptest::prelude::*;
 
 fn finite_val() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -2.0..2.0f64,
-        -1e6..1e6f64,
-        Just(0.0),
-        Just(1.0),
-        Just(-1.0),
-    ]
+    prop_oneof![-2.0..2.0f64, -1e6..1e6f64, Just(0.0), Just(1.0), Just(-1.0),]
 }
 
 fn arr32() -> impl Strategy<Value = [f64; 32]> {

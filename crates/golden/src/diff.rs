@@ -1,0 +1,469 @@
+//! The tolerance-aware differ.
+//!
+//! [`diff`] compares an *actual* artifact against its recorded *golden*
+//! twin cell by cell, honouring each column's [`Class`]:
+//!
+//! * `Exact` cells must match bit-for-bit (floats compared on their IEEE
+//!   bits, so a one-ulp flip in the MMA accumulation chain is caught);
+//! * `Epsilon` cells may drift within the column's relative tolerance;
+//! * `Ordinal` cells must match exactly, and a mismatch is reported as
+//!   an inverted claim — the paper's observations keep their direction.
+//!
+//! Rows are matched by their key columns, so the report names rows
+//! (`gemm / H200`) instead of indices and distinguishes changed cells
+//! from missing/extra rows. A [`DiffReport`] aggregates per-artifact
+//! results and renders both human-readable text and a canonical JSON
+//! document (`results/golden_diff.json`, uploaded by CI).
+
+use crate::artifact::{Artifact, Class};
+use crate::json::{obj, Json};
+
+/// One mismatched cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// Row identity (key columns joined, or `row N`).
+    pub row: String,
+    /// Column name.
+    pub column: String,
+    /// The column's comparison class.
+    pub class: Class,
+    /// Golden value (rendered).
+    pub expected: String,
+    /// Actual value (rendered).
+    pub actual: String,
+    /// Class-specific explanation.
+    pub detail: String,
+}
+
+/// The comparison result for one artifact.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArtifactDiff {
+    /// Artifact name.
+    pub name: String,
+    /// Structural problems: schema/meta mismatches, missing or extra
+    /// rows, column changes. Any entry fails the artifact.
+    pub structural: Vec<String>,
+    /// Cell-level mismatches.
+    pub cells: Vec<CellDiff>,
+}
+
+impl ArtifactDiff {
+    /// Did the artifact match its golden?
+    pub fn passed(&self) -> bool {
+        self.structural.is_empty() && self.cells.is_empty()
+    }
+}
+
+/// Compare `actual` against the recorded `golden`.
+pub fn diff(golden: &Artifact, actual: &Artifact) -> ArtifactDiff {
+    let mut d = ArtifactDiff {
+        name: golden.name.clone(),
+        ..ArtifactDiff::default()
+    };
+    if golden.name != actual.name {
+        d.structural.push(format!(
+            "artifact name changed: golden `{}` vs actual `{}`",
+            golden.name, actual.name
+        ));
+        return d;
+    }
+    if golden.columns != actual.columns {
+        let names = |a: &Artifact| -> Vec<String> {
+            a.columns
+                .iter()
+                .map(|c| format!("{}({})", c.name, tag(c.class)))
+                .collect()
+        };
+        d.structural.push(format!(
+            "column schema changed: golden [{}] vs actual [{}] — re-record the golden if intentional",
+            names(golden).join(", "),
+            names(actual).join(", ")
+        ));
+        return d;
+    }
+    for (k, v) in &golden.meta {
+        match actual.meta.iter().find(|(ak, _)| ak == k) {
+            None => d
+                .structural
+                .push(format!("meta `{k}` missing from the actual artifact")),
+            Some((_, av)) if av != v => d.structural.push(format!(
+                "meta `{k}` changed: golden {} vs actual {} — runs are not comparable",
+                v.render(),
+                av.render()
+            )),
+            Some(_) => {}
+        }
+    }
+    for (k, _) in &actual.meta {
+        if !golden.meta.iter().any(|(gk, _)| gk == k) {
+            d.structural
+                .push(format!("meta `{k}` not present in the golden"));
+        }
+    }
+    if !d.structural.is_empty() {
+        return d;
+    }
+
+    // Match rows by key identity.
+    let golden_keys: Vec<String> = (0..golden.rows.len()).map(|i| golden.row_key(i)).collect();
+    let actual_keys: Vec<String> = (0..actual.rows.len()).map(|i| actual.row_key(i)).collect();
+    for (i, key) in golden_keys.iter().enumerate() {
+        let Some(j) = actual_keys.iter().position(|k| k == key) else {
+            d.structural
+                .push(format!("row `{key}` missing from the actual artifact"));
+            continue;
+        };
+        diff_row(golden, key, &golden.rows[i], &actual.rows[j], &mut d);
+    }
+    for key in &actual_keys {
+        if !golden_keys.contains(key) {
+            d.structural
+                .push(format!("row `{key}` not present in the golden"));
+        }
+    }
+    d
+}
+
+fn tag(class: Class) -> &'static str {
+    match class {
+        Class::Exact => "exact",
+        Class::Epsilon(_) => "epsilon",
+        Class::Ordinal => "ordinal",
+    }
+}
+
+fn diff_row(a: &Artifact, key: &str, golden: &[Json], actual: &[Json], d: &mut ArtifactDiff) {
+    for ((col, g), act) in a.columns.iter().zip(golden).zip(actual) {
+        let mismatch = |detail: String| CellDiff {
+            row: key.to_string(),
+            column: col.name.clone(),
+            class: col.class,
+            expected: g.render(),
+            actual: act.render(),
+            detail,
+        };
+        match col.class {
+            Class::Exact => {
+                if !exact_eq(g, act) {
+                    let detail = match (g, act) {
+                        (Json::Float(e), Json::Float(v)) => format!(
+                            "bit-exact class: {} vs {} ({} ulp apart)",
+                            crate::json::fmt_f64(*e),
+                            crate::json::fmt_f64(*v),
+                            ulp_distance(*e, *v)
+                        ),
+                        _ => "bit-exact class: values differ".to_string(),
+                    };
+                    d.cells.push(mismatch(detail));
+                }
+            }
+            Class::Epsilon(rel) => match (g.as_f64(), act.as_f64()) {
+                (Some(e), Some(v)) => {
+                    if !within_rel(e, v, rel) {
+                        d.cells.push(mismatch(format!(
+                            "relative error {:.3e} exceeds tolerance {rel:.1e}",
+                            rel_err(e, v)
+                        )));
+                    }
+                }
+                _ => {
+                    if !exact_eq(g, act) {
+                        d.cells
+                            .push(mismatch("non-numeric cell in an epsilon column".into()));
+                    }
+                }
+            },
+            Class::Ordinal => {
+                if !exact_eq(g, act) {
+                    d.cells.push(mismatch(format!(
+                        "ordinal claim changed direction: `{}` became `{}`",
+                        g.render(),
+                        act.render()
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Bit-exact JSON equality: floats compare on their IEEE-754 bits (so
+/// `0.0 != -0.0` and NaN payloads matter), everything else structurally.
+pub fn exact_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Float(x), Json::Float(y)) => x.to_bits() == y.to_bits(),
+        (Json::Array(x), Json::Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| exact_eq(a, b))
+        }
+        (Json::Object(x), Json::Object(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && exact_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+/// `|a-b| <= rel * max(|a|,|b|)`, with exact equality always accepted.
+pub fn within_rel(a: f64, b: f64, rel: f64) -> bool {
+    if a.to_bits() == b.to_bits() {
+        return true;
+    }
+    (a - b).abs() <= rel * a.abs().max(b.abs())
+}
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+/// Distance in units-in-the-last-place between two same-sign finite
+/// floats (saturating, for readable reports).
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a.is_finite() && b.is_finite() && a.is_sign_positive() == b.is_sign_positive() {
+        (a.to_bits() as i64).abs_diff(b.to_bits() as i64)
+    } else {
+        u64::MAX
+    }
+}
+
+/// The aggregated result of checking a set of artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Per-artifact results, in check order.
+    pub artifacts: Vec<ArtifactDiff>,
+}
+
+impl DiffReport {
+    /// Did every artifact pass?
+    pub fn passed(&self) -> bool {
+        self.artifacts.iter().all(ArtifactDiff::passed)
+    }
+
+    /// Human-readable per-artifact report with the offending cells.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for a in &self.artifacts {
+            if a.passed() {
+                out.push_str(&format!("PASS  {}\n", a.name));
+                continue;
+            }
+            out.push_str(&format!(
+                "FAIL  {} ({} structural, {} cell mismatches)\n",
+                a.name,
+                a.structural.len(),
+                a.cells.len()
+            ));
+            for s in &a.structural {
+                out.push_str(&format!("      ! {s}\n"));
+            }
+            const MAX_CELLS: usize = 20;
+            for c in a.cells.iter().take(MAX_CELLS) {
+                out.push_str(&format!(
+                    "      x [{}] {} · {}: expected {}, got {} — {}\n",
+                    tag(c.class),
+                    c.row,
+                    c.column,
+                    c.expected,
+                    c.actual,
+                    c.detail
+                ));
+            }
+            if a.cells.len() > MAX_CELLS {
+                out.push_str(&format!(
+                    "      … and {} more cell mismatches\n",
+                    a.cells.len() - MAX_CELLS
+                ));
+            }
+        }
+        let failed = self.artifacts.iter().filter(|a| !a.passed()).count();
+        out.push_str(&format!(
+            "\n{} of {} artifacts passed.\n",
+            self.artifacts.len() - failed,
+            self.artifacts.len()
+        ));
+        out
+    }
+
+    /// Canonical JSON for `results/golden_diff.json`.
+    pub fn to_json(&self) -> Json {
+        let artifacts = self
+            .artifacts
+            .iter()
+            .map(|a| {
+                obj(vec![
+                    ("artifact", Json::Str(a.name.clone())),
+                    ("passed", Json::Bool(a.passed())),
+                    (
+                        "structural",
+                        Json::Array(a.structural.iter().map(|s| Json::Str(s.clone())).collect()),
+                    ),
+                    (
+                        "cells",
+                        Json::Array(
+                            a.cells
+                                .iter()
+                                .map(|c| {
+                                    obj(vec![
+                                        ("row", Json::Str(c.row.clone())),
+                                        ("column", Json::Str(c.column.clone())),
+                                        ("class", Json::Str(tag(c.class).to_string())),
+                                        ("expected", Json::Str(c.expected.clone())),
+                                        ("actual", Json::Str(c.actual.clone())),
+                                        ("detail", Json::Str(c.detail.clone())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("schema", "cubie-golden-diff/v1".into()),
+            ("passed", Json::Bool(self.passed())),
+            ("artifacts", Json::Array(artifacts)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Column;
+
+    fn base() -> Artifact {
+        let mut a = Artifact::new(
+            "t",
+            vec![
+                Column::exact("who").key(),
+                Column::exact("err"),
+                Column::eps("time_s", 1e-3),
+                Column::ordinal("winner"),
+            ],
+        )
+        .with_meta("sparse_scale", 64usize);
+        a.push(vec![
+            "gemm".into(),
+            3.119e-13.into(),
+            1.0e-3.into(),
+            "tc".into(),
+        ]);
+        a.push(vec!["scan".into(), 0.0.into(), 2.0e-6.into(), "tc".into()]);
+        a
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        assert!(diff(&base(), &base()).passed());
+    }
+
+    #[test]
+    fn bit_exact_class_rejects_a_one_ulp_flip() {
+        let golden = base();
+        let mut actual = base();
+        let flipped = f64::from_bits(3.119e-13_f64.to_bits() ^ 1);
+        actual.rows[0][1] = Json::Float(flipped);
+        let d = diff(&golden, &actual);
+        assert!(!d.passed());
+        assert_eq!(d.cells.len(), 1);
+        let c = &d.cells[0];
+        assert_eq!((c.row.as_str(), c.column.as_str()), ("gemm", "err"));
+        assert!(c.detail.contains("1 ulp"), "detail: {}", c.detail);
+    }
+
+    #[test]
+    fn epsilon_class_accepts_drift_inside_tolerance() {
+        let golden = base();
+        let mut actual = base();
+        actual.rows[0][2] = Json::Float(1.0e-3 * (1.0 + 5e-4)); // rel 5e-4 < 1e-3
+        assert!(diff(&golden, &actual).passed());
+    }
+
+    #[test]
+    fn epsilon_class_rejects_drift_outside_tolerance() {
+        let golden = base();
+        let mut actual = base();
+        actual.rows[0][2] = Json::Float(1.0e-3 * 1.01); // rel 1e-2 > 1e-3
+        let d = diff(&golden, &actual);
+        assert_eq!(d.cells.len(), 1);
+        assert!(d.cells[0].detail.contains("tolerance"));
+    }
+
+    #[test]
+    fn ordinal_class_rejects_a_who_wins_inversion() {
+        let golden = base();
+        let mut actual = base();
+        actual.rows[1][3] = "baseline".into();
+        let d = diff(&golden, &actual);
+        assert_eq!(d.cells.len(), 1);
+        assert!(
+            d.cells[0].detail.contains("direction"),
+            "{}",
+            d.cells[0].detail
+        );
+    }
+
+    #[test]
+    fn missing_and_extra_rows_are_structural() {
+        let golden = base();
+        let mut actual = base();
+        actual.rows.remove(1);
+        actual.push(vec!["spmv".into(), 0.0.into(), 1.0.into(), "tc".into()]);
+        let d = diff(&golden, &actual);
+        assert_eq!(d.structural.len(), 2);
+        assert!(d.structural[0].contains("scan"));
+        assert!(d.structural[1].contains("spmv"));
+    }
+
+    #[test]
+    fn meta_change_means_runs_not_comparable() {
+        let golden = base();
+        let actual = {
+            let mut a = base();
+            a.meta[0].1 = Json::Int(32);
+            a
+        };
+        let d = diff(&golden, &actual);
+        assert!(!d.passed());
+        assert!(d.structural[0].contains("not comparable"));
+    }
+
+    #[test]
+    fn column_schema_change_asks_for_rerecord() {
+        let golden = base();
+        let mut actual = base();
+        actual.columns[2] = Column::eps("time_s", 1e-2);
+        let d = diff(&golden, &actual);
+        assert!(d.structural[0].contains("re-record"));
+    }
+
+    #[test]
+    fn report_renders_pass_fail_lines() {
+        let mut r = DiffReport::default();
+        r.artifacts.push(diff(&base(), &base()));
+        let mut bad = base();
+        bad.rows[1][3] = "baseline".into();
+        r.artifacts.push(diff(&base(), &bad));
+        let text = r.render();
+        assert!(text.contains("PASS  t"));
+        assert!(text.contains("FAIL  t"));
+        assert!(text.contains("1 of 2 artifacts passed"));
+        assert!(!r.passed());
+        // The JSON report carries the same verdicts.
+        let doc = r.to_json();
+        assert_eq!(doc.get("passed"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn negative_zero_is_not_zero_in_exact_class() {
+        let golden = base();
+        let mut actual = base();
+        actual.rows[1][1] = Json::Float(-0.0);
+        assert!(!diff(&golden, &actual).passed());
+    }
+}

@@ -108,7 +108,12 @@ impl BitmapGraph {
     pub fn num_bits(&self) -> usize {
         self.slices
             .iter()
-            .map(|s| s.rows.iter().map(|r| r.count_ones() as usize).sum::<usize>())
+            .map(|s| {
+                s.rows
+                    .iter()
+                    .map(|r| r.count_ones() as usize)
+                    .sum::<usize>()
+            })
             .sum()
     }
 

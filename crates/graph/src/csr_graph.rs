@@ -126,7 +126,11 @@ impl CsrGraph {
         seen[start] = true;
         while let Some(u) = queue.pop_front() {
             order.push(u);
-            for &v in self.neighbors(u as usize).iter().chain(rev.neighbors(u as usize)) {
+            for &v in self
+                .neighbors(u as usize)
+                .iter()
+                .chain(rev.neighbors(u as usize))
+            {
                 if !seen[v as usize] {
                     seen[v as usize] = true;
                     queue.push_back(v);

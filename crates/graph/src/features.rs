@@ -42,7 +42,10 @@ pub struct GraphFeatures {
 impl GraphFeatures {
     /// Extract features from a graph.
     pub fn of(g: &CsrGraph) -> Self {
-        assert!(g.n > 0 && g.num_arcs() > 0, "features need a nonempty graph");
+        assert!(
+            g.n > 0 && g.num_arcs() > 0,
+            "features need a nonempty graph"
+        );
         let n = g.n as f64;
         let m = g.num_arcs() as f64;
         let mean = m / n;

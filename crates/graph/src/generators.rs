@@ -82,8 +82,14 @@ pub fn rmat(
     seed: u64,
     symmetrize: bool,
 ) -> CsrGraph {
-    assert!(n.is_power_of_two(), "RMAT needs a power-of-two vertex count");
-    assert!((a + b + c + d - 1.0).abs() < 1e-9, "probabilities must sum to 1");
+    assert!(
+        n.is_power_of_two(),
+        "RMAT needs a power-of-two vertex count"
+    );
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "probabilities must sum to 1"
+    );
     let levels = n.trailing_zeros();
     let mut g = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(m);
@@ -244,13 +250,31 @@ pub fn diverse_graph_corpus(count: usize, seed: u64) -> Vec<(String, CsrGraph)> 
                 }
                 1 => {
                     let n = 1usize << (9 + (s % 4));
-                    rmat(n, n * (4 + (s % 16) as usize), 0.45, 0.25, 0.2, 0.1, s, false)
+                    rmat(
+                        n,
+                        n * (4 + (s % 16) as usize),
+                        0.45,
+                        0.25,
+                        0.2,
+                        0.1,
+                        s,
+                        false,
+                    )
                 }
                 2 => mycielskian(6 + (s % 5) as u32),
                 3 => grid_graph(12 + (s % 40) as usize, 12 + ((s >> 8) % 40) as usize),
                 _ => {
                     let n = 1usize << (9 + (s % 4));
-                    rmat(n, n * (2 + (s % 6) as usize), 0.25, 0.25, 0.25, 0.25, s, true)
+                    rmat(
+                        n,
+                        n * (2 + (s % 6) as usize),
+                        0.25,
+                        0.25,
+                        0.25,
+                        0.25,
+                        s,
+                        true,
+                    )
                 }
             };
             (format!("corpus-{i}"), graph)

@@ -25,4 +25,4 @@ pub mod generators;
 pub use bitmap::BitmapGraph;
 pub use csr_graph::CsrGraph;
 pub use features::GraphFeatures;
-pub use generators::{GraphInfo, table3_graphs, table3_specs};
+pub use generators::{table3_graphs, table3_specs, GraphInfo};

@@ -7,10 +7,7 @@ use proptest::prelude::*;
 /// Arbitrary small graph as (n, edges, symmetrize).
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, bool)> {
     (2usize..300, any::<bool>()).prop_flat_map(|(n, sym)| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32),
-            0..600,
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..600);
         (Just(n), edges, Just(sym))
     })
 }

@@ -18,10 +18,10 @@
 //! BFS performs no floating-point arithmetic; correctness is exact
 //! level-by-level agreement with the serial reference.
 
-use cubie_core::OpCounters;
 use cubie_core::counters::MemTraffic;
 use cubie_core::mma::mma_b1_m8n8k128_and_popc;
-use cubie_graph::bitmap::{BLOCK_COLS, BLOCK_ROWS, BitmapGraph};
+use cubie_core::OpCounters;
+use cubie_graph::bitmap::{BitmapGraph, BLOCK_COLS, BLOCK_ROWS};
 use cubie_graph::csr_graph::CsrGraph;
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
@@ -126,8 +126,7 @@ fn run_bitmap(g: &CsrGraph, source: usize, variant: Variant) -> (Vec<i32>, Workl
         if variant == Variant::Tc {
             ops.int_ops = processed * 8; // diagonal extraction
         }
-        ops.gmem_load = MemTraffic::coalesced(processed * 132)
-            + MemTraffic::random(processed * 16);
+        ops.gmem_load = MemTraffic::coalesced(processed * 132) + MemTraffic::random(processed * 16);
         ops.gmem_store = MemTraffic::coalesced(next_count * 4 + col_blocks as u64 * 16);
         ops.smem_bytes = processed * 16;
         let _ = skipped_settled;

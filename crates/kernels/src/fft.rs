@@ -21,9 +21,9 @@
 
 use std::f64::consts::PI;
 
-use cubie_core::counters::{MMA_F64_FMAS, MemTraffic};
+use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
-use cubie_core::{C64, OpCounters};
+use cubie_core::{OpCounters, C64};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
@@ -44,15 +44,9 @@ pub struct FftCase {
 impl FftCase {
     /// The five Table 2 test cases (batch 2K).
     pub fn cases() -> Vec<FftCase> {
-        [
-            (256, 256),
-            (256, 512),
-            (256, 1024),
-            (512, 256),
-            (512, 512),
-        ]
-        .map(|(h, w)| FftCase { h, w, batch: 2048 })
-        .to_vec()
+        [(256, 256), (256, 512), (256, 1024), (512, 256), (512, 512)]
+            .map(|(h, w)| FftCase { h, w, batch: 2048 })
+            .to_vec()
     }
 
     /// Points per transform.
@@ -322,11 +316,14 @@ pub fn trace(case: &FftCase, variant: Variant) -> WorkloadTrace {
                 .iter()
                 .map(|&(_, n)| (n.trailing_zeros() as u64 / 2) * (n / 4) * 256)
                 .sum();
-            ops.gmem_load = MemTraffic::coalesced(n_pts * 16 + a_bytes)
-                + MemTraffic::strided(n_pts * 16); // transpose between passes
+            ops.gmem_load =
+                MemTraffic::coalesced(n_pts * 16 + a_bytes) + MemTraffic::strided(n_pts * 16); // transpose between passes
             ops.gmem_store = MemTraffic::coalesced(n_pts * 16) + MemTraffic::strided(n_pts * 16);
             // Stage exchange in shared memory per radix-4 level.
-            let levels: u64 = passes.iter().map(|&(_, n)| (n.trailing_zeros() as u64).div_ceil(2)).sum();
+            let levels: u64 = passes
+                .iter()
+                .map(|&(_, n)| (n.trailing_zeros() as u64).div_ceil(2))
+                .sum();
             ops.smem_bytes = n_pts * 16 * levels * 2;
         }
         Variant::Baseline => {
@@ -351,7 +348,14 @@ pub fn trace(case: &FftCase, variant: Variant) -> WorkloadTrace {
     }
     ops.syncs = batch;
     let blocks = (batch * h).div_ceil(8);
-    WorkloadTrace::single(KernelTrace::new(label, blocks, 256, 48 * 1024, ops, critical))
+    WorkloadTrace::single(KernelTrace::new(
+        label,
+        blocks,
+        256,
+        48 * 1024,
+        ops,
+        critical,
+    ))
 }
 
 #[cfg(test)]
@@ -377,7 +381,9 @@ mod tests {
     fn fft1d_tc_matches_naive_dft() {
         for n in [4usize, 16, 64, 256] {
             let mut g = cubie_core::LcgF64::new(n as u64);
-            let x: Vec<C64> = (0..n).map(|_| C64::new(g.next_f64(), g.next_f64())).collect();
+            let x: Vec<C64> = (0..n)
+                .map(|_| C64::new(g.next_f64(), g.next_f64()))
+                .collect();
             let gold = dft_naive(&x);
             let mut batch = vec![x];
             fft1d_batch(&mut batch, Variant::Tc);
@@ -390,7 +396,9 @@ mod tests {
     fn fft1d_handles_odd_log2_sizes() {
         for n in [2usize, 8, 32, 128, 512] {
             let mut g = cubie_core::LcgF64::new(n as u64 + 1);
-            let x: Vec<C64> = (0..n).map(|_| C64::new(g.next_f64(), g.next_f64())).collect();
+            let x: Vec<C64> = (0..n)
+                .map(|_| C64::new(g.next_f64(), g.next_f64()))
+                .collect();
             let gold = dft_naive(&x);
             for v in [Variant::Tc, Variant::Baseline] {
                 let mut batch = vec![x.clone()];
@@ -405,7 +413,9 @@ mod tests {
     fn baseline_stockham_matches_naive() {
         for n in [4usize, 16, 64] {
             let mut g = cubie_core::LcgF64::new(n as u64 + 7);
-            let x: Vec<C64> = (0..n).map(|_| C64::new(g.next_f64(), g.next_f64())).collect();
+            let x: Vec<C64> = (0..n)
+                .map(|_| C64::new(g.next_f64(), g.next_f64()))
+                .collect();
             let gold = dft_naive(&x);
             let mut batch = vec![x];
             fft1d_batch(&mut batch, Variant::Baseline);

@@ -11,9 +11,9 @@
 //! CC-E is equivalent to CC for Quadrant I workloads (no redundant
 //! computation is introduced by the MMA mapping), as Section 5.2 notes.
 
-use cubie_core::counters::{MMA_F64_FMAS, MemTraffic};
+use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
-use cubie_core::{DenseMatrix, OpCounters, par};
+use cubie_core::{par, DenseMatrix, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
@@ -46,9 +46,7 @@ impl GemmCase {
 
     /// The five Table 2 test cases: 256³ … 4K³.
     pub fn cases() -> Vec<GemmCase> {
-        [256, 512, 1024, 2048, 4096]
-            .map(GemmCase::square)
-            .to_vec()
+        [256, 512, 1024, 2048, 4096].map(GemmCase::square).to_vec()
     }
 
     /// Useful floating-point work: `2·M·N·K`.

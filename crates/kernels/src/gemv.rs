@@ -13,9 +13,9 @@
 //!   and reduces via shuffles; the short rows leave transactions half
 //!   empty, which the trace records as strided traffic.
 
-use cubie_core::counters::{MMA_F64_FMAS, MemTraffic};
+use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
-use cubie_core::{DenseMatrix, OpCounters, par};
+use cubie_core::{par, DenseMatrix, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
@@ -152,7 +152,14 @@ pub fn trace(case: &GemvCase, variant: Variant) -> WorkloadTrace {
             ));
         }
     };
-    WorkloadTrace::single(KernelTrace::new(label, blocks, threads, n as u32 * 8, ops, lat))
+    WorkloadTrace::single(KernelTrace::new(
+        label,
+        blocks,
+        threads,
+        n as u32 * 8,
+        ops,
+        lat,
+    ))
 }
 
 /// TC/CC functional path: 8×4 blocks of `A` against the replicated-`x`

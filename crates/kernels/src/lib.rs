@@ -42,4 +42,4 @@ pub mod stencil;
 pub mod suite;
 
 pub use common::{Quadrant, Variant};
-pub use suite::{PreparedCase, Workload, WorkloadSpec, all_workloads, prepare_cases};
+pub use suite::{all_workloads, prepare_cases, PreparedCase, Workload, WorkloadSpec};

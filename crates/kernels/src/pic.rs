@@ -17,9 +17,9 @@
 //!   CC-E ≡ CC (Quadrant I).
 //! * The paper evaluates no vendor baseline for PiC (Table 2: "-").
 
-use cubie_core::counters::{MMA_F64_FMAS, MemTraffic};
+use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
-use cubie_core::{LcgF64, OpCounters, par};
+use cubie_core::{par, LcgF64, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
@@ -169,11 +169,7 @@ pub fn push_matrix(e: &[f64; 3], b: &[f64; 3]) -> PushMatrix {
 
 fn cross_matrix(t: &[f64; 3]) -> [[f64; 3]; 3] {
     // (C·v) = v × t.
-    [
-        [0.0, t[2], -t[1]],
-        [-t[2], 0.0, t[0]],
-        [t[1], -t[0], 0.0],
-    ]
+    [[0.0, t[2], -t[1]], [-t[2], 0.0, t[0]], [t[1], -t[0], 0.0]]
 }
 
 /// Pack the push operator into the 4×8 MMA `B` operand (row-major 32):

@@ -12,13 +12,13 @@
 //! * **Baseline** models CUB `BlockReduce`: per-thread partials, warp
 //!   shuffle trees, cross-warp combine.
 
-use cubie_core::OpCounters;
 use cubie_core::mma::mma_f64_8x8x8;
+use cubie_core::OpCounters;
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{Variant, bytes_f64};
+use crate::common::{bytes_f64, Variant};
 
 /// Elements per 8×8 tile.
 pub const TILE: usize = 64;
@@ -282,10 +282,7 @@ mod tests {
             let gold = reference(&x);
             for v in Variant::ALL {
                 let (s, _) = run(&x, v);
-                assert!(
-                    (s - gold).abs() < 1e-10,
-                    "{v} n={n}: {s} vs {gold}"
-                );
+                assert!((s - gold).abs() < 1e-10, "{v} n={n}: {s} vs {gold}");
             }
         }
     }

@@ -22,12 +22,12 @@
 //! throughput; the traces therefore carry careful `critical_cycles`.
 
 use cubie_core::mma::mma_f64_8x8x8;
-use cubie_core::{OpCounters, par};
+use cubie_core::{par, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{Variant, bytes_f64};
+use crate::common::{bytes_f64, Variant};
 
 /// Elements per 8×8 tile.
 pub const TILE: usize = 64;
@@ -125,7 +125,11 @@ pub fn run(x: &[f64], variant: Variant) -> (Vec<f64>, WorkloadTrace) {
 fn scan_tile(x: &[f64], counters: &mut OpCounters) -> ([f64; 64], f64) {
     let mut xt = [0.0f64; 64];
     xt[..x.len()].copy_from_slice(x);
-    let (u, l, o) = (constants::upper(), constants::lower_strict(), constants::ones());
+    let (u, l, o) = (
+        constants::upper(),
+        constants::lower_strict(),
+        constants::ones(),
+    );
     let mut t = [0.0f64; 64];
     mma_f64_8x8x8(&xt, &o, &mut t, counters); // T = X·O
     let mut z = [0.0f64; 64];

@@ -10,11 +10,11 @@
 //! traces (no latency floor — the device is saturated).
 
 use cubie_core::counters::MemTraffic;
-use cubie_core::{OpCounters, par};
+use cubie_core::{par, OpCounters};
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{Variant, bytes_f64};
+use crate::common::{bytes_f64, Variant};
 use crate::scan;
 
 /// One segmented case: `segments` independent segments of `seg_len`
@@ -110,13 +110,23 @@ pub fn trace_scan(case: &SegmentedCase, variant: Variant) -> WorkloadTrace {
     };
     match variant {
         Variant::Tc => {
-            ops.mma_f64 = 6 * tiles + if tiles_per_seg > 1 { 6 * case.segments as u64 } else { 0 };
+            ops.mma_f64 = 6 * tiles
+                + if tiles_per_seg > 1 {
+                    6 * case.segments as u64
+                } else {
+                    0
+                };
             ops.cmem_bytes = 3 * bytes_f64(scan::TILE);
             ops.add_f64 = n.saturating_sub(scan::TILE as u64 * case.segments as u64);
         }
         Variant::Cc => {
-            ops.fma_f64 =
-                (6 * tiles + if tiles_per_seg > 1 { 6 * case.segments as u64 } else { 0 }) * 256;
+            ops.fma_f64 = (6 * tiles
+                + if tiles_per_seg > 1 {
+                    6 * case.segments as u64
+                } else {
+                    0
+                })
+                * 256;
             ops.int_ops = ops.fma_f64;
             ops.add_f64 = n.saturating_sub(scan::TILE as u64 * case.segments as u64);
         }

@@ -14,12 +14,12 @@
 //! * **Baseline** models cuSPARSE's row-wise SpGEMM: scalar CSR products
 //!   through a per-row hash accumulator.
 
-use cubie_core::counters::{MMA_F64_FMAS, MemTraffic};
+use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
-use cubie_core::{OpCounters, par};
+use cubie_core::{par, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
-use cubie_sparse::mbsr::{BLOCK, Mbsr};
+use cubie_sparse::mbsr::{Mbsr, BLOCK};
 use cubie_sparse::{Coo, Csr};
 
 use crate::common::Variant;
@@ -198,10 +198,7 @@ fn run_baseline(a: &Csr) -> Csr {
             }
         }
         touched.sort_unstable();
-        touched
-            .into_iter()
-            .map(|c| (c, acc[c as usize]))
-            .collect()
+        touched.into_iter().map(|c| (c, acc[c as usize])).collect()
     });
     let mut coo = Coo::new(a.rows, a.cols);
     for (r, entries) in rows.iter().enumerate() {
@@ -323,11 +320,18 @@ pub fn trace(a: &Csr, variant: Variant) -> WorkloadTrace {
             ops.smem_bytes = s.scalar_products * 24; // hash table traffic
             blocks = (a.rows as u64).div_ceil(8);
             let avg_chain = s.scalar_products as f64 / a.rows.max(1) as f64;
-            critical = latency::GMEM_RT + avg_chain / 32.0 * latency::FMA_F64
-                + 4.0 * latency::SMEM_RT;
+            critical =
+                latency::GMEM_RT + avg_chain / 32.0 * latency::FMA_F64 + 4.0 * latency::SMEM_RT;
         }
     }
-    WorkloadTrace::single(KernelTrace::new(label, blocks, 256, 16 * 1024, ops, critical))
+    WorkloadTrace::single(KernelTrace::new(
+        label,
+        blocks,
+        256,
+        16 * 1024,
+        ops,
+        critical,
+    ))
 }
 
 /// Useful floating-point work: two FLOPs per scalar product.

@@ -17,9 +17,9 @@
 //!   products straight off CSR, whose short rows leave transactions
 //!   partially filled (strided traffic) and whose `x` gathers are random.
 
-use cubie_core::counters::{MMA_F64_FMAS, MemTraffic};
+use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
-use cubie_core::{OpCounters, par};
+use cubie_core::{par, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use cubie_sparse::Csr;
@@ -298,7 +298,8 @@ pub fn trace(m: &Csr, variant: Variant) -> WorkloadTrace {
             // hit L2 (the vector fits the last-level cache).
             ops.gmem_load = MemTraffic::coalesced(slots * 8 + slots * 4);
             ops.l2_bytes = slots * 8;
-            ops.gmem_store = MemTraffic::coalesced(m.rows as u64 * 8 + fmt.bundles.len() as u64 * 32);
+            ops.gmem_store =
+                MemTraffic::coalesced(m.rows as u64 * 8 + fmt.bundles.len() as u64 * 32);
             ops.int_ops = slots; // gather address arithmetic
             blocks = (fmt.bundles.len() as u64).div_ceil(8);
             threads = 256;

@@ -18,9 +18,9 @@
 //! Boundary convention: out-of-grid neighbours read as zero, and all
 //! points (including borders) are produced.
 
-use cubie_core::counters::{MMA_F64_FMAS, MemTraffic};
+use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
-use cubie_core::{OpCounters, par};
+use cubie_core::{par, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
@@ -403,8 +403,16 @@ fn run_baseline(case: &StencilCase, x: &[f64]) -> Vec<f64> {
                     v = co.axis_2.mul_add(at(y, xx - 2) + at(y, xx + 2), v);
                 }
                 if case.kind == StencilKind::Star3D1R {
-                    let below = if z > 0 { x[(z - 1) * plane + (y as usize) * nx + xx as usize] } else { 0.0 };
-                    let above = if z + 1 < nz { x[(z + 1) * plane + (y as usize) * nx + xx as usize] } else { 0.0 };
+                    let below = if z > 0 {
+                        x[(z - 1) * plane + (y as usize) * nx + xx as usize]
+                    } else {
+                        0.0
+                    };
+                    let above = if z + 1 < nz {
+                        x[(z + 1) * plane + (y as usize) * nx + xx as usize]
+                    } else {
+                        0.0
+                    };
                     v = co.axis_z.mul_add(below + above, v);
                 }
                 out_plane[(y as usize) * nx + xx as usize] = v;
@@ -480,7 +488,14 @@ pub fn trace(case: &StencilCase, variant: Variant) -> WorkloadTrace {
         }
     }
     let blocks = tiles.div_ceil(8).max(1);
-    WorkloadTrace::single(KernelTrace::new(label, blocks, 256, 2 * 96 * 8, ops, critical))
+    WorkloadTrace::single(KernelTrace::new(
+        label,
+        blocks,
+        256,
+        2 * 96 * 8,
+        ops,
+        critical,
+    ))
 }
 
 #[cfg(test)]

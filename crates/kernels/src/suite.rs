@@ -5,8 +5,8 @@
 use cubie_graph::csr_graph::CsrGraph;
 use cubie_graph::generators as graph_gen;
 use cubie_sim::WorkloadTrace;
-use cubie_sparse::Csr;
 use cubie_sparse::generators as sparse_gen;
+use cubie_sparse::Csr;
 use serde::{Deserialize, Serialize};
 
 use crate::common::{Quadrant, Variant};
@@ -171,7 +171,10 @@ impl Workload {
     /// Position of this workload in Table 2 order (the canonical sort key
     /// of sweep results).
     pub fn index(&self) -> usize {
-        Workload::ALL.iter().position(|w| w == self).expect("ALL is total")
+        Workload::ALL
+            .iter()
+            .position(|w| w == self)
+            .expect("ALL is total")
     }
 
     /// Lower-case key used by CLI filters and CSV columns.
@@ -323,19 +326,34 @@ impl PreparedCase {
 /// sizes (1 = full published sizes; graphs at scale 1 need several GB).
 pub fn prepare_cases(w: Workload, sparse_scale: usize, graph_scale: usize) -> Vec<PreparedCase> {
     match w {
-        Workload::Gemm => gemm::GemmCase::cases().into_iter().map(PreparedCase::Gemm).collect(),
-        Workload::Gemv => gemv::GemvCase::cases().into_iter().map(PreparedCase::Gemv).collect(),
-        Workload::Fft => fft::FftCase::cases().into_iter().map(PreparedCase::Fft).collect(),
+        Workload::Gemm => gemm::GemmCase::cases()
+            .into_iter()
+            .map(PreparedCase::Gemm)
+            .collect(),
+        Workload::Gemv => gemv::GemvCase::cases()
+            .into_iter()
+            .map(PreparedCase::Gemv)
+            .collect(),
+        Workload::Fft => fft::FftCase::cases()
+            .into_iter()
+            .map(PreparedCase::Fft)
+            .collect(),
         Workload::Stencil => stencil::StencilCase::cases()
             .into_iter()
             .map(PreparedCase::Stencil)
             .collect(),
-        Workload::Scan => scan::ScanCase::cases().into_iter().map(PreparedCase::Scan).collect(),
+        Workload::Scan => scan::ScanCase::cases()
+            .into_iter()
+            .map(PreparedCase::Scan)
+            .collect(),
         Workload::Reduction => reduction::ReductionCase::cases()
             .into_iter()
             .map(PreparedCase::Reduction)
             .collect(),
-        Workload::Pic => pic::PicCase::cases().into_iter().map(PreparedCase::Pic).collect(),
+        Workload::Pic => pic::PicCase::cases()
+            .into_iter()
+            .map(PreparedCase::Pic)
+            .collect(),
         Workload::Spmv => sparse_gen::table4_matrices(sparse_scale)
             .into_iter()
             .map(|(info, m)| PreparedCase::Spmv {

@@ -2,8 +2,8 @@
 //! must agree with its serial reference on arbitrary inputs, and TC must
 //! be bit-identical to CC everywhere.
 
-use cubie_core::{C64, ErrorStats};
-use cubie_kernels::{Variant, bfs, fft, gemv, reduction, scan, spmv};
+use cubie_core::{ErrorStats, C64};
+use cubie_kernels::{bfs, fft, gemv, reduction, scan, spmv, Variant};
 use cubie_sparse::{Coo, Csr};
 use proptest::prelude::*;
 

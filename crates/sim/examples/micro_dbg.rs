@@ -4,6 +4,9 @@ fn main() {
     for n in [64usize, 128, 256, 512, 1024] {
         let tc = simulate_block(&m, &scan_tc_streams(n)).cycles;
         let base = simulate_block(&m, &scan_baseline_streams(n)).cycles;
-        println!("n={n:5} tc={tc:5} base={base:5} speedup={:.2}", base as f64/tc as f64);
+        println!(
+            "n={n:5} tc={tc:5} base={base:5} speedup={:.2}",
+            base as f64 / tc as f64
+        );
     }
 }

@@ -40,7 +40,7 @@ pub mod timing;
 pub mod trace;
 
 pub use occupancy::Occupancy;
-pub use power::{EnergyReport, PowerSample, power_report, power_trace};
+pub use power::{power_report, power_trace, EnergyReport, PowerSample};
 pub use roofline::{Roofline, RooflinePoint};
-pub use timing::{KernelTiming, Limiter, PipeTimes, WorkloadTiming, time_kernel, time_workload};
-pub use trace::{KernelTrace, WorkloadTrace, latency};
+pub use timing::{time_kernel, time_workload, KernelTiming, Limiter, PipeTimes, WorkloadTiming};
+pub use trace::{latency, KernelTrace, WorkloadTrace};

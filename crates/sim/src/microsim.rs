@@ -503,8 +503,8 @@ mod tests {
             // Reconstruct the per-execution analytic estimate (the trace
             // multiplies by its benchmark repeat count).
             let hierarchical = n > 64;
-            let level = 2.0 * (2.0 * crate::trace::latency::MMA_F64)
-                + crate::trace::latency::FMA_F64;
+            let level =
+                2.0 * (2.0 * crate::trace::latency::MMA_F64) + crate::trace::latency::FMA_F64;
             let analytic = crate::trace::latency::SMEM_RT
                 + level
                 + if hierarchical {

@@ -26,12 +26,26 @@ pub struct EnergyReport {
     pub edp: f64,
 }
 
+impl EnergyReport {
+    /// The report as an ordered `(name, value)` list — the canonical
+    /// export the golden-artifact layer serializes (Figure 7 columns).
+    /// The order is part of the `cubie-golden/v1` schema; keep it stable.
+    pub fn named_fields(&self) -> [(&'static str, f64); 4] {
+        [
+            ("avg_power_w", self.avg_power_w),
+            ("time_s", self.time_s),
+            ("energy_j", self.energy_j),
+            ("edp", self.edp),
+        ]
+    }
+}
+
 /// Instantaneous steady-state power for a workload's utilization profile.
 pub fn steady_power(device: &DeviceSpec, timing: &WorkloadTiming) -> f64 {
     let p = &device.power;
     let tc = timing.tc_util().max(timing.b1_util());
-    let raw = p.idle_w + p.tc_pipe_w * tc + p.cc_pipe_w * timing.cc_util()
-        + p.mem_w * timing.mem_util();
+    let raw =
+        p.idle_w + p.tc_pipe_w * tc + p.cc_pipe_w * timing.cc_util() + p.mem_w * timing.mem_util();
     raw.min(p.tdp_w)
 }
 
@@ -99,8 +113,8 @@ mod tests {
     use super::*;
     use crate::timing::time_workload;
     use crate::trace::{KernelTrace, WorkloadTrace};
-    use cubie_core::OpCounters;
     use cubie_core::counters::MemTraffic;
+    use cubie_core::OpCounters;
     use cubie_device::h200;
 
     fn compute_workload(mma_per_block: u64) -> WorkloadTrace {
@@ -148,14 +162,8 @@ mod tests {
     #[test]
     fn idle_floor_is_respected() {
         let d = h200();
-        let empty = WorkloadTrace::single(KernelTrace::new(
-            "e",
-            1,
-            32,
-            0,
-            OpCounters::default(),
-            0.0,
-        ));
+        let empty =
+            WorkloadTrace::single(KernelTrace::new("e", 1, 32, 0, OpCounters::default(), 0.0));
         let t = time_workload(&d, &empty);
         let pw = steady_power(&d, &t);
         assert!(pw >= d.power.idle_w);

@@ -90,8 +90,8 @@ mod tests {
     use super::*;
     use crate::timing::time_workload;
     use crate::trace::{KernelTrace, WorkloadTrace};
-    use cubie_core::OpCounters;
     use cubie_core::counters::MemTraffic;
+    use cubie_core::OpCounters;
     use cubie_device::h200;
 
     #[test]

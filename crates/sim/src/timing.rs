@@ -165,7 +165,11 @@ impl KernelTiming {
 }
 
 fn safe_div(a: f64, b: f64) -> f64 {
-    if b <= 0.0 { 0.0 } else { (a / b).min(1.0) }
+    if b <= 0.0 {
+        0.0
+    } else {
+        (a / b).min(1.0)
+    }
 }
 
 /// Time one kernel launch on `device`.
@@ -218,8 +222,8 @@ struct PipeEff {
 
 fn pipe_times(device: &DeviceSpec, ops: &OpCounters, eff: &PipeEff) -> PipeTimes {
     let tc = ops.tc_flops() as f64 / (device.tc_fp64_flops() * eff.tc);
-    let cc_flops = ops.cc_flops() as f64
-        + ops.special_f64 as f64 * (1.0 / device.special_ratio - 1.0);
+    let cc_flops =
+        ops.cc_flops() as f64 + ops.special_f64 as f64 * (1.0 / device.special_ratio - 1.0);
     let cc = cc_flops / (device.cc_fp64_flops() * eff.cc);
     let int = ops.int_ops as f64 / (device.cc_int_ops() * eff.cc);
     let b1 = (ops.mma_b1 * cubie_core::counters::MMA_B1_BITOPS) as f64
@@ -311,7 +315,11 @@ impl WorkloadTiming {
 
 /// Time a workload: sequential launches, each paying launch overhead.
 pub fn time_workload(device: &DeviceSpec, trace: &WorkloadTrace) -> WorkloadTiming {
-    let kernels: Vec<KernelTiming> = trace.kernels.iter().map(|k| time_kernel(device, k)).collect();
+    let kernels: Vec<KernelTiming> = trace
+        .kernels
+        .iter()
+        .map(|k| time_kernel(device, k))
+        .collect();
     let total_s = kernels.iter().map(|k| k.time_s).sum();
     WorkloadTiming {
         total_s,

@@ -1,10 +1,10 @@
 //! Property-based tests of the timing and power models: monotonicity and
 //! sanity invariants that must hold for ANY trace.
 
-use cubie_core::OpCounters;
 use cubie_core::counters::MemTraffic;
+use cubie_core::OpCounters;
 use cubie_device::{a100, b200, h200};
-use cubie_sim::{KernelTrace, WorkloadTrace, power_report, time_kernel, time_workload};
+use cubie_sim::{power_report, time_kernel, time_workload, KernelTrace, WorkloadTrace};
 use proptest::prelude::*;
 
 fn arb_ops() -> impl Strategy<Value = OpCounters> {
@@ -31,7 +31,12 @@ fn arb_ops() -> impl Strategy<Value = OpCounters> {
 }
 
 fn arb_trace() -> impl Strategy<Value = KernelTrace> {
-    (arb_ops(), 1u64..1 << 20, prop_oneof![Just(32u32), Just(128), Just(256), Just(1024)], 0f64..1e6)
+    (
+        arb_ops(),
+        1u64..1 << 20,
+        prop_oneof![Just(32u32), Just(128), Just(256), Just(1024)],
+        0f64..1e6,
+    )
         .prop_map(|(ops, blocks, threads, crit)| {
             KernelTrace::new("p", blocks, threads, 4096, ops, crit)
         })

@@ -49,9 +49,7 @@ impl Coo {
     pub fn sort_dedup(&mut self) {
         let n = self.nnz();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_unstable_by_key(|&i| {
-            (self.row_idx[i as usize], self.col_idx[i as usize])
-        });
+        order.sort_unstable_by_key(|&i| (self.row_idx[i as usize], self.col_idx[i as usize]));
         let mut row = Vec::with_capacity(n);
         let mut col = Vec::with_capacity(n);
         let mut val = Vec::with_capacity(n);

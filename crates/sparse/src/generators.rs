@@ -537,12 +537,15 @@ mod tests {
 
     #[test]
     fn scaled_generators_shrink() {
-        for name in ["spmsrts", "Chevron1", "raefsky3", "conf5_4-8x8-10", "bcsstk39"] {
+        for name in [
+            "spmsrts",
+            "Chevron1",
+            "raefsky3",
+            "conf5_4-8x8-10",
+            "bcsstk39",
+        ] {
             let small = generate(name, 8);
-            let spec = table4_specs()
-                .into_iter()
-                .find(|s| s.name == name)
-                .unwrap();
+            let spec = table4_specs().into_iter().find(|s| s.name == name).unwrap();
             assert!(small.rows < spec.rows, "{name} did not shrink");
             assert!(small.rows > 0);
             assert!(small.nnz() > 0);

@@ -33,5 +33,5 @@ pub mod rcm;
 pub use coo::Coo;
 pub use csr::Csr;
 pub use features::MatrixFeatures;
-pub use generators::{MatrixInfo, table4_matrices, table4_specs};
+pub use generators::{table4_matrices, table4_specs, MatrixInfo};
 pub use mbsr::Mbsr;

@@ -63,7 +63,10 @@ pub fn rcm_permutation(m: &Csr) -> Vec<u32> {
 /// Apply a permutation symmetrically: `out[i][j] = m[perm[i]][perm[j]]`.
 pub fn permute_symmetric(m: &Csr, perm: &[u32]) -> Csr {
     assert_eq!(perm.len(), m.rows);
-    assert_eq!(m.rows, m.cols, "symmetric permutation needs a square matrix");
+    assert_eq!(
+        m.rows, m.cols,
+        "symmetric permutation needs a square matrix"
+    );
     let mut inv = vec![0u32; perm.len()];
     for (new, &old) in perm.iter().enumerate() {
         inv[old as usize] = new as u32;
@@ -137,7 +140,10 @@ mod tests {
             after * 4 < before,
             "bandwidth should collapse: {before} → {after}"
         );
-        assert!(after <= 8, "a shuffled ±2 band reorders to ≤ ~2·bw: {after}");
+        assert!(
+            after <= 8,
+            "a shuffled ±2 band reorders to ≤ ~2·bw: {after}"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests of the sparse substrate.
 
 use cubie_core::SplitMix64;
-use cubie_sparse::{Coo, Csr, Mbsr, mm_io};
+use cubie_sparse::{mm_io, Coo, Csr, Mbsr};
 use proptest::prelude::*;
 
 /// Arbitrary small sparse matrix as (rows, cols, triplets).

@@ -7,7 +7,7 @@
 //! cargo run --release --example accuracy_check
 //! ```
 
-use cubie::analysis::errors::{ErrorScale, table6};
+use cubie::analysis::errors::{table6, ErrorScale};
 use cubie::analysis::report;
 
 fn main() {
@@ -24,7 +24,11 @@ fn main() {
                 r.workload.spec().name.to_string(),
                 r.case_label.clone(),
                 fmt(r.baseline),
-                format!("{} / {}", report::sci(r.tc_cc.avg), report::sci(r.tc_cc.max)),
+                format!(
+                    "{} / {}",
+                    report::sci(r.tc_cc.avg),
+                    report::sci(r.tc_cc.max)
+                ),
                 fmt(r.cce),
             ]
         })
@@ -32,7 +36,13 @@ fn main() {
     println!(
         "{}",
         report::markdown_table(
-            &["workload", "case", "Baseline avg/max", "TC=CC avg/max", "CC-E avg/max"],
+            &[
+                "workload",
+                "case",
+                "Baseline avg/max",
+                "TC=CC avg/max",
+                "CC-E avg/max"
+            ],
             &table
         )
     );

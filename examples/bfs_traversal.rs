@@ -8,14 +8,17 @@
 //! ```
 
 use cubie::device::all_devices;
-use cubie::graph::BitmapGraph;
 use cubie::graph::generators::{kron_g500, mycielskian};
-use cubie::kernels::{Variant, bfs};
+use cubie::graph::BitmapGraph;
+use cubie::kernels::{bfs, Variant};
 use cubie::sim::time_workload;
 
 fn main() {
     for (name, graph) in [
-        ("kron_g500-logn16 (87 edges/vertex)", kron_g500(16, 87, 0x6500)),
+        (
+            "kron_g500-logn16 (87 edges/vertex)",
+            kron_g500(16, 87, 0x6500),
+        ),
         ("mycielskian12 (exact construction)", mycielskian(12)),
     ] {
         let src = graph.max_degree_vertex();

@@ -7,7 +7,7 @@
 //! ```
 
 use cubie::device::h200;
-use cubie::kernels::stencil::{StencilCase, trace};
+use cubie::kernels::stencil::{trace, StencilCase};
 use cubie::kernels::{Variant, Workload};
 use cubie::sim::{power_report, power_trace, time_workload};
 
@@ -40,7 +40,11 @@ fn main() {
     let timing = time_workload(&dev, &trace(&case, Variant::Tc));
     let total = timing.total_s * repeats as f64;
     let samples = power_trace(&dev, &timing, repeats, total / 60.0);
-    println!("\nTC power trace ({} samples, {:.2} s active window):", samples.len(), total);
+    println!(
+        "\nTC power trace ({} samples, {:.2} s active window):",
+        samples.len(),
+        total
+    );
     let peak = samples.iter().map(|s| s.power_w).fold(0.0f64, f64::max);
     for s in samples.iter().step_by(2) {
         let bar = ((s.power_w / peak) * 60.0) as usize;

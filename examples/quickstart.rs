@@ -9,7 +9,7 @@
 
 use cubie::core::ErrorStats;
 use cubie::device::all_devices;
-use cubie::kernels::{Variant, gemm};
+use cubie::kernels::{gemm, Variant};
 use cubie::sim::time_workload;
 
 fn main() {

@@ -10,7 +10,7 @@
 
 use cubie::core::ErrorStats;
 use cubie::device::all_devices;
-use cubie::kernels::{Variant, spmv};
+use cubie::kernels::{spmv, Variant};
 use cubie::sim::time_workload;
 use cubie::sparse::generators::table4_matrices;
 

@@ -9,6 +9,18 @@
 //! cubie verify <workload>            functional run vs CPU ground truth
 //! cubie errors [--quick]             the Table 6 accuracy study
 //! cubie advise <workload> [opts]     MMU-suitability prediction
+//! cubie golden record [--only a,b]   snapshot every canonical artifact
+//!                                    at the pinned reduced scale into
+//!                                    results/golden/
+//! cubie golden check [--only a,b]    rebuild and diff against the
+//!                                    committed goldens (bit-exact /
+//!                                    epsilon / ordinal per column);
+//!                                    writes results/golden_diff.json,
+//!                                    exits 1 on any mismatch
+//! cubie golden list                  registry + recorded status
+//! cubie bench-smoke [--record]       pinned perf smoke sweep; gates
+//!                                    wall time against the committed
+//!                                    results/golden/BENCH_sweep.json
 //!
 //! options: --device a100|h200|b200   (default: all three)
 //!          --case N                  Table 2 case index 0–4 (default 2)
@@ -22,10 +34,11 @@
 //! ```
 
 use cubie::analysis::advisor::{advise, reference_mapping};
-use cubie::analysis::errors::{ErrorScale, table6};
+use cubie::analysis::errors::{table6, ErrorScale};
 use cubie::analysis::report;
-use cubie::bench::{SweepConfig, SweepRunner};
-use cubie::device::{DeviceSpec, a100, all_devices, b200, h200};
+use cubie::bench::{artifacts, smoke, SweepConfig, SweepRunner};
+use cubie::device::{a100, all_devices, b200, h200, DeviceSpec};
+use cubie::golden::{ArtifactDiff, DiffReport};
 use cubie::kernels::{Variant, Workload};
 
 fn main() {
@@ -44,6 +57,8 @@ fn main() {
         "verify" => verify_cmd(&rest),
         "errors" => errors_cmd(&rest),
         "advise" => advise_cmd(&rest),
+        "golden" => golden_cmd(&rest),
+        "bench-smoke" => bench_smoke_cmd(&rest),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command `{other}`\n");
@@ -62,7 +77,9 @@ fn usage() {
          cubie run <workload> [--device a100|h200|b200] [--case 0..4] \
          [--sparse-scale K] [--graph-scale K]\n  \
          cubie verify <workload>\n  cubie errors [--quick]\n  \
-         cubie advise <workload> [--device ...]\n\n\
+         cubie advise <workload> [--device ...]\n  \
+         cubie golden record|check|list [--only name,name]\n  \
+         cubie bench-smoke [--record]\n\n\
          workloads: gemm pic fft stencil scan reduction bfs gemv spmv spgemm"
     );
 }
@@ -132,7 +149,13 @@ fn devices_cmd() {
     println!(
         "{}",
         report::markdown_table(
-            &["device", "TC FP64 TF/s", "CC FP64 TF/s", "DRAM GB/s", "TDP W"],
+            &[
+                "device",
+                "TC FP64 TF/s",
+                "CC FP64 TF/s",
+                "DRAM GB/s",
+                "TDP W"
+            ],
             &rows
         )
     );
@@ -196,7 +219,16 @@ fn sweep_cmd(rest: &[&String]) {
     println!(
         "{}",
         report::markdown_table(
-            &["workload", "case", "variant", "device", "time", "Gunit/s", "TC util", "DRAM util"],
+            &[
+                "workload",
+                "case",
+                "variant",
+                "device",
+                "time",
+                "Gunit/s",
+                "TC util",
+                "DRAM util"
+            ],
             &rows
         )
     );
@@ -210,7 +242,9 @@ fn run_cmd(rest: &[&String]) {
     };
     let w = parse_workload(wname);
     let (ss, gs) = scales(rest);
-    let case_idx: usize = opt(rest, "--case").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let case_idx: usize = opt(rest, "--case")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
     if case_idx > 4 {
         eprintln!("case index out of range (0..5)");
         std::process::exit(2);
@@ -242,7 +276,9 @@ fn run_cmd(rest: &[&String]) {
     let mut rows = Vec::new();
     for dev in sweep.devices() {
         for v in w.variants() {
-            let Some(c) = sweep.cell(w, case_idx, v, &dev.name) else { continue };
+            let Some(c) = sweep.cell(w, case_idx, v, &dev.name) else {
+                continue;
+            };
             rows.push(vec![
                 dev.name.clone(),
                 v.label().to_string(),
@@ -256,7 +292,14 @@ fn run_cmd(rest: &[&String]) {
     println!(
         "{}",
         report::markdown_table(
-            &["device", "variant", "time", "Gunit/s", "TC util", "DRAM util"],
+            &[
+                "device",
+                "variant",
+                "time",
+                "Gunit/s",
+                "TC util",
+                "DRAM util"
+            ],
             &rows
         )
     );
@@ -268,7 +311,10 @@ fn verify_cmd(rest: &[&String]) {
         std::process::exit(2);
     };
     let w = parse_workload(wname);
-    println!("verifying {} against the serial CPU reference…", w.spec().name);
+    println!(
+        "verifying {} against the serial CPU reference…",
+        w.spec().name
+    );
     let ok = verify_one(w);
     if ok {
         println!("OK: every variant matches (TC ≡ CC bitwise).");
@@ -402,7 +448,11 @@ fn verify_one(w: Workload) -> bool {
             w.variants().iter().all(|&v| {
                 let (levels, _) = bfs::run(&g, src, v);
                 let ok = levels == gold;
-                println!("  {:9} levels {}", v.label(), if ok { "exact" } else { "MISMATCH" });
+                println!(
+                    "  {:9} levels {}",
+                    v.label(),
+                    if ok { "exact" } else { "MISMATCH" }
+                );
                 ok
             })
         }
@@ -427,7 +477,11 @@ fn errors_cmd(rest: &[&String]) {
                 r.workload.spec().name.to_string(),
                 r.case_label.clone(),
                 fmt(r.baseline),
-                format!("{} / {}", report::sci(r.tc_cc.avg), report::sci(r.tc_cc.max)),
+                format!(
+                    "{} / {}",
+                    report::sci(r.tc_cc.avg),
+                    report::sci(r.tc_cc.max)
+                ),
                 fmt(r.cce),
             ]
         })
@@ -435,7 +489,13 @@ fn errors_cmd(rest: &[&String]) {
     println!(
         "{}",
         report::markdown_table(
-            &["workload", "case", "Baseline avg/max", "TC=CC avg/max", "CC-E avg/max"],
+            &[
+                "workload",
+                "case",
+                "Baseline avg/max",
+                "TC=CC avg/max",
+                "CC-E avg/max"
+            ],
             &table
         )
     );
@@ -485,8 +545,167 @@ fn advise_cmd(rest: &[&String]) {
     println!(
         "{}",
         report::markdown_table(
-            &["device", "predicted speedup", "CC limiter", "TC limiter", "quadrant", "verdict"],
+            &[
+                "device",
+                "predicted speedup",
+                "CC limiter",
+                "TC limiter",
+                "quadrant",
+                "verdict"
+            ],
             &rows
         )
     );
+}
+
+/// Artifact names selected by `--only a,b` (default: the full registry).
+fn golden_selection(rest: &[&String]) -> Vec<&'static str> {
+    let Some(only) = opt(rest, "--only") else {
+        return artifacts::GOLDEN_ARTIFACTS.to_vec();
+    };
+    let mut names = Vec::new();
+    for n in only.split(',') {
+        match artifacts::GOLDEN_ARTIFACTS.iter().find(|a| **a == n) {
+            Some(a) => names.push(*a),
+            None => {
+                eprintln!("unknown artifact `{n}` — `cubie golden list` shows the registry");
+                std::process::exit(2);
+            }
+        }
+    }
+    names
+}
+
+fn golden_cmd(rest: &[&String]) {
+    let sub = rest.first().map(|s| s.as_str()).unwrap_or("");
+    let tail = &rest[rest.len().min(1)..];
+    match sub {
+        "record" => golden_record(tail),
+        "check" => golden_check(tail),
+        "list" => golden_list(),
+        _ => {
+            eprintln!("usage: cubie golden record|check|list [--only name,name]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn golden_record(rest: &[&String]) {
+    let ctx = artifacts::GoldenCtx::new(artifacts::GoldenConfig::default());
+    let dir = artifacts::golden_dir();
+    println!(
+        "recording goldens at sparse_scale={} graph_scale={} into {}",
+        ctx.config.sparse_scale,
+        ctx.config.graph_scale,
+        dir.display()
+    );
+    for name in golden_selection(rest) {
+        let artifact = artifacts::build(&ctx, name).expect("registry name");
+        let path = dir.join(format!("{name}.json"));
+        artifact.write(&path).expect("write golden");
+        println!(
+            "  {name}: {} rows -> {}",
+            artifact.rows.len(),
+            path.display()
+        );
+    }
+}
+
+fn golden_check(rest: &[&String]) {
+    let ctx = artifacts::GoldenCtx::new(artifacts::GoldenConfig::default());
+    let dir = artifacts::golden_dir();
+    let mut report_diffs = Vec::new();
+    for name in golden_selection(rest) {
+        let path = dir.join(format!("{name}.json"));
+        let diff = match cubie::golden::Artifact::read(&path) {
+            Ok(golden) => {
+                let actual = artifacts::build(&ctx, name).expect("registry name");
+                cubie::golden::diff(&golden, &actual)
+            }
+            Err(e) => ArtifactDiff {
+                name: name.to_string(),
+                structural: vec![format!(
+                    "golden snapshot unreadable ({e}) — run `cubie golden record`"
+                )],
+                cells: Vec::new(),
+            },
+        };
+        report_diffs.push(diff);
+    }
+    let diff_report = DiffReport {
+        artifacts: report_diffs,
+    };
+    print!("{}", diff_report.render());
+    let out = report::results_dir().join("golden_diff.json");
+    std::fs::write(&out, diff_report.to_json().to_pretty_string()).expect("write diff report");
+    println!("wrote {}", out.display());
+    if !diff_report.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn golden_list() {
+    let dir = artifacts::golden_dir();
+    let rows: Vec<Vec<String>> = artifacts::GOLDEN_ARTIFACTS
+        .iter()
+        .map(|name| {
+            let path = dir.join(format!("{name}.json"));
+            let status = match cubie::golden::Artifact::read(&path) {
+                Ok(a) => format!("recorded ({} rows)", a.rows.len()),
+                Err(_) => "missing".to_string(),
+            };
+            vec![name.to_string(), status]
+        })
+        .collect();
+    println!("{}", report::markdown_table(&["artifact", "golden"], &rows));
+    println!("store: {}", dir.display());
+}
+
+fn bench_smoke_cmd(rest: &[&String]) {
+    let record = rest.iter().any(|a| a.as_str() == "--record");
+    println!(
+        "smoke sweep: {} x {} reps (preparation included, best wall time kept)…",
+        smoke::SMOKE_WORKLOADS
+            .iter()
+            .map(|w| w.spec().name)
+            .collect::<Vec<_>>()
+            .join("/"),
+        smoke::smoke_reps()
+    );
+    let result = smoke::run_smoke();
+    println!(
+        "  {} cells, simulated total {:.3e} s, best wall {:.0} ms",
+        result.cells, result.sim_total_s, result.wall_ms
+    );
+    let out = report::results_dir().join("BENCH_sweep.json");
+    std::fs::write(&out, result.to_json().to_pretty_string()).expect("write BENCH_sweep.json");
+    println!("wrote {}", out.display());
+
+    let baseline_path = artifacts::golden_dir().join("BENCH_sweep.json");
+    if record {
+        std::fs::write(&baseline_path, result.to_json().to_pretty_string())
+            .expect("write baseline");
+        println!("recorded baseline {}", baseline_path.display());
+        return;
+    }
+    let baseline = match smoke::SmokeResult::read(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("no committed baseline ({e}) — run `cubie bench-smoke --record`");
+            std::process::exit(1);
+        }
+    };
+    let factor = smoke::smoke_factor();
+    let failures = smoke::check_smoke(&result, &baseline, factor);
+    if failures.is_empty() {
+        println!(
+            "PASS: wall {:.0} ms within {factor}x of baseline {:.0} ms",
+            result.wall_ms, baseline.wall_ms
+        );
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -19,7 +19,11 @@
 //! * [`kernels`] — the ten workloads and their variants.
 //! * [`analysis`] — PCA, coverage, quadrants, report rendering.
 //! * [`bench`] — the parallel cached sweep engine every figure/table
-//!   harness projects from (`bench::sweep`).
+//!   harness projects from (`bench::sweep`), plus the canonical artifact
+//!   builders (`bench::artifacts`) and the perf smoke harness
+//!   (`bench::smoke`).
+//! * [`golden`] — canonical JSON, the artifact schema, and the
+//!   tolerance-aware golden differ behind `cubie golden record|check`.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +46,7 @@ pub use cubie_analysis as analysis;
 pub use cubie_bench as bench;
 pub use cubie_core as core;
 pub use cubie_device as device;
+pub use cubie_golden as golden;
 pub use cubie_graph as graph;
 pub use cubie_kernels as kernels;
 pub use cubie_sim as sim;

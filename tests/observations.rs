@@ -3,10 +3,10 @@
 //! O8 (memory regularization) and O9 (suite diversity).
 
 use cubie::analysis::coverage::suite_diversity_study;
-use cubie::analysis::errors::{ErrorScale, table6};
+use cubie::analysis::errors::{table6, ErrorScale};
 use cubie::analysis::quadrants::{utilization_of, utilizations};
 use cubie::device::h200;
-use cubie::kernels::{Quadrant, Variant, Workload, prepare_cases};
+use cubie::kernels::{prepare_cases, Quadrant, Variant, Workload};
 use cubie::sim::{power_report, time_workload};
 
 #[test]

@@ -6,9 +6,9 @@
 use std::sync::Arc;
 
 use cubie::bench::SweepCache;
-use cubie::device::{DeviceSpec, all_devices};
+use cubie::device::{all_devices, DeviceSpec};
 use cubie::kernels::{Variant, Workload};
-use cubie::sim::{WorkloadTrace, time_workload};
+use cubie::sim::{time_workload, WorkloadTrace};
 
 /// Sparse matrices run at the paper's full published sizes; graphs are
 /// generated at 1/16 scale (the full 90–234M-arc graphs need several GB)
@@ -44,7 +44,11 @@ fn geomean_speedup(w: Workload, dev: &DeviceSpec, a: Variant, b: Variant) -> f64
 
 fn print_speedup(w: Workload, dev: &DeviceSpec, a: Variant, b: Variant) -> f64 {
     let s = geomean_speedup(w, dev, a, b);
-    println!("{:>9} {:28} {a} vs {b}: {s:.2}x", format!("{w:?}"), dev.name);
+    println!(
+        "{:>9} {:28} {a} vs {b}: {s:.2}x",
+        format!("{w:?}"),
+        dev.name
+    );
     s
 }
 

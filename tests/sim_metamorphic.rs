@@ -10,9 +10,9 @@
 //!    dependency chain dominates every pipe, a launch limiter implies the
 //!    kernel is smaller than its launch overhead.
 
-use cubie::device::{DeviceSpec, all_devices};
-use cubie::kernels::{Variant, gemm, gemv, reduction, scan, stencil};
-use cubie::sim::{Limiter, WorkloadTrace, time_workload};
+use cubie::device::{all_devices, DeviceSpec};
+use cubie::kernels::{gemm, gemv, reduction, scan, stencil, Variant};
+use cubie::sim::{time_workload, Limiter, WorkloadTrace};
 
 /// A representative trace set spanning the quadrants: compute-bound
 /// (GEMM TC/CC), latency-bound single-block (Scan, Reduction), and
@@ -20,10 +20,16 @@ use cubie::sim::{Limiter, WorkloadTrace, time_workload};
 fn representative_traces() -> Vec<(String, WorkloadTrace)> {
     let mut out = Vec::new();
     for v in [Variant::Tc, Variant::Cc] {
-        out.push((format!("gemm-2048 {v}"), gemm::trace(&gemm::GemmCase::square(2048), v)));
+        out.push((
+            format!("gemm-2048 {v}"),
+            gemm::trace(&gemm::GemmCase::square(2048), v),
+        ));
     }
     for v in Variant::ALL {
-        out.push((format!("scan-4096 {v}"), scan::trace(&scan::ScanCase { n: 4096 }, v)));
+        out.push((
+            format!("scan-4096 {v}"),
+            scan::trace(&scan::ScanCase { n: 4096 }, v),
+        ));
         out.push((
             format!("reduction-4096 {v}"),
             reduction::trace(&reduction::ReductionCase { n: 4096 }, v),

@@ -50,8 +50,16 @@ fn sweep_order_is_canonical() {
         (
             c.workload.index(),
             c.case_idx,
-            c.workload.variants().iter().position(|v| *v == c.variant).unwrap(),
-            sweep.devices().iter().position(|d| d.name == c.device).unwrap(),
+            c.workload
+                .variants()
+                .iter()
+                .position(|v| *v == c.variant)
+                .unwrap(),
+            sweep
+                .devices()
+                .iter()
+                .position(|d| d.name == c.device)
+                .unwrap(),
         )
     };
     for pair in sweep.cells.windows(2) {

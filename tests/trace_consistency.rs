@@ -2,7 +2,7 @@
 //! must describe exactly the computation the functional kernels perform.
 
 use cubie::core::C64;
-use cubie::kernels::{Variant, fft, gemm, gemv, pic, reduction, scan, spmv, stencil};
+use cubie::kernels::{fft, gemm, gemv, pic, reduction, scan, spmv, stencil, Variant};
 
 #[test]
 fn gemm_run_returns_its_analytic_trace() {
@@ -51,7 +51,11 @@ fn stencil_and_pic_traces_match() {
     let case = stencil::StencilCase::star2d(48, 64);
     let x = stencil::input(&case);
     for v in [Variant::Baseline, Variant::Tc, Variant::Cc] {
-        assert_eq!(stencil::run(&case, &x, v).1, stencil::trace(&case, v), "{v}");
+        assert_eq!(
+            stencil::run(&case, &x, v).1,
+            stencil::trace(&case, v),
+            "{v}"
+        );
     }
     let pc = pic::PicCase { n: 2048 };
     let (parts, grid) = pic::input(&pc);
@@ -72,7 +76,11 @@ fn fft_executed_mma_count_matches_trace() {
         let n = 1usize << (2 * log_n.min(4)); // 16..256 (pure radix-4)
         let mut g = cubie::core::LcgF64::new(log_n as u64);
         let mut xs: Vec<Vec<C64>> = (0..8)
-            .map(|_| (0..n).map(|_| C64::new(g.next_f64(), g.next_f64())).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| C64::new(g.next_f64(), g.next_f64()))
+                    .collect()
+            })
             .collect();
         let ctr = fft::fft1d_batch(&mut xs, Variant::Tc);
         let l4 = (n.trailing_zeros() / 2) as u64;

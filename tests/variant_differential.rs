@@ -6,9 +6,9 @@
 //! the Table 6 error scale, and the essential-only CC-E variant must
 //! never issue more work than the faithful CC port it strips down.
 
-use cubie::analysis::errors::{ErrorScale, table6};
+use cubie::analysis::errors::{table6, ErrorScale};
 use cubie::bench::SweepCache;
-use cubie::kernels::{Variant, Workload, bfs};
+use cubie::kernels::{bfs, Variant, Workload};
 
 /// Table 6 reports avg/max FP64 errors between 5e-17 and ~5e-9 across
 /// every workload/variant cell; 1e-8 bounds the whole published table.
@@ -84,7 +84,10 @@ fn bfs_variants_agree_exactly() {
     let gold = bfs::reference(&g, src);
     for v in Workload::Bfs.variants() {
         let (levels, _) = bfs::run(&g, src, v);
-        assert_eq!(levels, gold, "BFS {v} levels differ from the serial reference");
+        assert_eq!(
+            levels, gold,
+            "BFS {v} levels differ from the serial reference"
+        );
     }
 }
 

@@ -264,7 +264,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -344,10 +347,10 @@ pub mod test_runner {
 
 /// Everything a property test file needs.
 pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng};
     pub use crate::{
-        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, any, prop,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
     };
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 }
 
 /// Assert inside a property test (plain `assert!`; no shrinking).
@@ -444,11 +447,15 @@ mod tests {
     fn determinism() {
         let a: Vec<u64> = {
             let mut rng = crate::TestRng::new(1);
-            (0..10).map(|_| Strategy::sample(&(0u64..1000), &mut rng)).collect()
+            (0..10)
+                .map(|_| Strategy::sample(&(0u64..1000), &mut rng))
+                .collect()
         };
         let b: Vec<u64> = {
             let mut rng = crate::TestRng::new(1);
-            (0..10).map(|_| Strategy::sample(&(0u64..1000), &mut rng)).collect()
+            (0..10)
+                .map(|_| Strategy::sample(&(0u64..1000), &mut rng))
+                .collect()
         };
         assert_eq!(a, b);
     }
