@@ -53,23 +53,41 @@ pub use sweep::{Sweep, SweepCache, SweepCell, SweepConfig, SweepRunner};
 
 use cubie_kernels::Workload;
 
+/// Parse `value` (from environment variable `name`) as a `T`, reporting
+/// what was wrong instead of discarding the failure — the pure core of
+/// [`env_parse`], unit-testable without touching the process environment.
+pub fn parse_env_value<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("ignoring {name}={value}: not a valid value for this variable"))
+}
+
+/// Read and parse environment variable `name`. Unset returns `None`
+/// silently; a set-but-unparseable value (e.g. `CUBIE_JOBS=fast`) emits a
+/// one-line stderr warning and returns `None`, so typos degrade loudly to
+/// the default instead of being silently swallowed.
+pub fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let value = std::env::var(name).ok()?;
+    match parse_env_value(name, &value) {
+        Ok(v) => Some(v),
+        Err(msg) => {
+            eprintln!("warning: {msg}");
+            None
+        }
+    }
+}
+
 /// Scale divisor for the Table 4 sparse matrices (1 = the published
 /// sizes). Override with `CUBIE_SPARSE_SCALE`.
 pub fn sparse_scale() -> usize {
-    std::env::var("CUBIE_SPARSE_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
+    env_parse("CUBIE_SPARSE_SCALE").unwrap_or(1)
 }
 
 /// Scale divisor for the Table 3 graphs (default 16: the published
 /// 90–234M-arc graphs need several GB to materialize). Override with
 /// `CUBIE_GRAPH_SCALE`.
 pub fn graph_scale() -> usize {
-    std::env::var("CUBIE_GRAPH_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(16)
+    env_parse("CUBIE_GRAPH_SCALE").unwrap_or(16)
 }
 
 /// The three Table 5 devices.
@@ -95,9 +113,60 @@ pub fn fig7_repeats(w: Workload) -> u64 {
     }
 }
 
+/// Serializes tests that mutate the process environment (Rust runs test
+/// threads concurrently within one process; `set_var` races otherwise).
+#[cfg(test)]
+pub(crate) fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_env_value_accepts_valid_input() {
+        assert_eq!(parse_env_value::<usize>("CUBIE_JOBS", "8"), Ok(8));
+        assert_eq!(parse_env_value::<f64>("CUBIE_SMOKE_FACTOR", "2.5"), Ok(2.5));
+    }
+
+    #[test]
+    fn parse_env_value_names_the_variable_and_value_on_failure() {
+        let err = parse_env_value::<usize>("CUBIE_JOBS", "fast").unwrap_err();
+        assert!(err.contains("CUBIE_JOBS=fast"), "{err}");
+    }
+
+    #[test]
+    fn cubie_jobs_typo_degrades_to_default_not_silence() {
+        let _guard = env_lock();
+        std::env::set_var("CUBIE_JOBS", "many");
+        assert_eq!(env_parse::<usize>("CUBIE_JOBS"), None);
+        std::env::set_var("CUBIE_JOBS", "6");
+        assert_eq!(env_parse::<usize>("CUBIE_JOBS"), Some(6));
+        std::env::remove_var("CUBIE_JOBS");
+        assert_eq!(env_parse::<usize>("CUBIE_JOBS"), None);
+    }
+
+    #[test]
+    fn cubie_sparse_scale_falls_back_on_garbage() {
+        let _guard = env_lock();
+        std::env::set_var("CUBIE_SPARSE_SCALE", "1.5");
+        assert_eq!(sparse_scale(), 1);
+        std::env::set_var("CUBIE_SPARSE_SCALE", "4");
+        assert_eq!(sparse_scale(), 4);
+        std::env::remove_var("CUBIE_SPARSE_SCALE");
+    }
+
+    #[test]
+    fn cubie_graph_scale_falls_back_on_garbage() {
+        let _guard = env_lock();
+        std::env::set_var("CUBIE_GRAPH_SCALE", "");
+        assert_eq!(graph_scale(), 16);
+        std::env::set_var("CUBIE_GRAPH_SCALE", "32");
+        assert_eq!(graph_scale(), 32);
+        std::env::remove_var("CUBIE_GRAPH_SCALE");
+    }
 
     #[test]
     fn fig7_repeats_cover_all() {

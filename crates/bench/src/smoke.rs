@@ -1,16 +1,25 @@
 //! The perf smoke harness (`cubie bench-smoke`): a pinned, cheap subset
 //! of the sweep is executed end-to-end (preparation **included** — each
 //! repetition uses a private [`SweepCache`], so generator or trace-layer
-//! slowdowns are visible), the best-of-N wall time and the deterministic
-//! simulated totals are written to `results/BENCH_sweep.json`, and a
-//! committed baseline under `results/golden/` gates regressions:
+//! slowdowns are visible), the best-of-N wall time, the deterministic
+//! simulated totals, and the per-phase breakdown of the best repetition
+//! are written to `results/BENCH_sweep.json`, and a committed baseline
+//! under `results/golden/` gates regressions:
 //!
 //! * cell counts and the summed simulated time must match the baseline
 //!   (epsilon `1e-9` — the simulation is deterministic, so this is a
 //!   correctness tripwire, not a perf one);
 //! * wall time may not exceed `factor ×` the baseline (default 4.0 —
 //!   generous, because CI machines are noisy and heterogeneous; override
-//!   with `CUBIE_SMOKE_FACTOR`).
+//!   with `CUBIE_SMOKE_FACTOR`). When the gate trips, the per-phase
+//!   breakdown attributes the regression (generation vs trace vs timing)
+//!   instead of reporting one opaque wall-clock number.
+//!
+//! The sweep runs with a **pinned worker cap** ([`SMOKE_JOBS`], override
+//! `CUBIE_SMOKE_JOBS`) so a baseline recorded on a many-core machine is
+//! comparable on a small CI runner; the recording host's core count and
+//! the effective cap ride along in the artifact to keep diffs
+//! interpretable.
 //!
 //! GEMM is deliberately excluded: its Table 2 cases are fixed-size (no
 //! scale knob), so it would dominate the smoke run's wall clock.
@@ -24,8 +33,9 @@ use cubie_kernels::Workload;
 
 use crate::sweep::{SweepCache, SweepConfig, SweepRunner};
 
-/// Schema tag of `BENCH_sweep.json`.
-pub const SMOKE_SCHEMA: &str = "cubie-bench-smoke/v1";
+/// Schema tag of `BENCH_sweep.json`. Rev 2 added `jobs`, `host_cores`
+/// and the per-phase `phases` breakdown.
+pub const SMOKE_SCHEMA: &str = "cubie-bench-smoke/v2";
 
 /// Default regression threshold: wall time may grow this much over the
 /// committed baseline before the gate fails.
@@ -44,14 +54,60 @@ pub const SMOKE_WORKLOADS: [Workload; 4] = [
 /// noisy timers).
 pub const SMOKE_REPS: usize = 3;
 
+/// Pinned worker-thread cap of the smoke sweep: decoupling the measured
+/// wall time from the host's core count keeps one committed baseline
+/// meaningful across heterogeneous machines (a 64-core recorder would
+/// otherwise trip the gate on a 4-core runner).
+pub const SMOKE_JOBS: usize = 4;
+
+/// The phases of the smoke breakdown, in pipeline order: case generation,
+/// functional trace execution, timing simulation, and parallel-worker
+/// loop time (overlaps the other three under `par_map`).
+pub const SMOKE_PHASES: [&str; 4] = ["prepare", "trace", "time", "par"];
+
 /// [`SMOKE_REPS`], overridable via `CUBIE_SMOKE_REPS` (integration tests
 /// drop to 1 — a debug-profile sweep is seconds per rep).
 pub fn smoke_reps() -> usize {
-    std::env::var("CUBIE_SMOKE_REPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|n| *n > 0)
-        .unwrap_or(SMOKE_REPS)
+    match crate::env_parse::<usize>("CUBIE_SMOKE_REPS") {
+        Some(0) => {
+            eprintln!("warning: ignoring CUBIE_SMOKE_REPS=0: must be at least 1");
+            SMOKE_REPS
+        }
+        Some(n) => n,
+        None => SMOKE_REPS,
+    }
+}
+
+/// [`SMOKE_JOBS`], overridable via `CUBIE_SMOKE_JOBS` (0 is rejected —
+/// the cap must be explicit for cross-machine comparability).
+pub fn smoke_jobs() -> usize {
+    match crate::env_parse::<usize>("CUBIE_SMOKE_JOBS") {
+        Some(0) => {
+            eprintln!("warning: ignoring CUBIE_SMOKE_JOBS=0: must be at least 1");
+            SMOKE_JOBS
+        }
+        Some(n) => n,
+        None => SMOKE_JOBS,
+    }
+}
+
+/// The host's available core count (what the pinned cap protects the
+/// baseline from).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Busy time of one instrumentation phase in the best smoke repetition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Phase name (one of [`SMOKE_PHASES`]).
+    pub phase: String,
+    /// Spans recorded under the phase.
+    pub calls: u64,
+    /// Summed span duration across workers, milliseconds.
+    pub busy_ms: f64,
 }
 
 /// The result of one smoke run.
@@ -61,8 +117,14 @@ pub struct SmokeResult {
     pub cells: usize,
     /// Sum of simulated cell times, seconds (deterministic).
     pub sim_total_s: f64,
-    /// Best end-to-end wall time over [`SMOKE_REPS`] runs, milliseconds.
+    /// Best end-to-end wall time over [`smoke_reps`] runs, milliseconds.
     pub wall_ms: f64,
+    /// Worker-thread cap the sweep ran under.
+    pub jobs: usize,
+    /// Core count of the machine that produced this result.
+    pub host_cores: usize,
+    /// Per-phase busy times of the best repetition, [`SMOKE_PHASES`] order.
+    pub phases: Vec<PhaseBreakdown>,
 }
 
 impl SmokeResult {
@@ -80,26 +142,67 @@ impl SmokeResult {
                 ),
             ),
             ("reps", smoke_reps().into()),
+            ("jobs", self.jobs.into()),
+            ("host_cores", self.host_cores.into()),
             ("cells", self.cells.into()),
             ("sim_total_s", self.sim_total_s.into()),
             ("wall_ms", self.wall_ms.into()),
+            (
+                "phases",
+                Json::Array(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            obj(vec![
+                                ("phase", p.phase.as_str().into()),
+                                ("calls", p.calls.into()),
+                                ("busy_ms", p.busy_ms.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
     /// Parse a `BENCH_sweep.json` document.
     pub fn from_json(doc: &Json) -> Result<SmokeResult, String> {
         if doc.get("schema").and_then(Json::as_str) != Some(SMOKE_SCHEMA) {
-            return Err(format!("not a {SMOKE_SCHEMA} document"));
+            return Err(format!(
+                "not a {SMOKE_SCHEMA} document — re-record with `cubie bench-smoke --record`"
+            ));
         }
         let field = |name: &str| {
             doc.get(name)
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("missing numeric field `{name}`"))
         };
+        let mut phases = Vec::new();
+        for p in doc
+            .get("phases")
+            .and_then(Json::as_array)
+            .ok_or("missing `phases` array")?
+        {
+            phases.push(PhaseBreakdown {
+                phase: p
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .ok_or("phase entry missing `phase`")?
+                    .to_string(),
+                calls: p.get("calls").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                busy_ms: p
+                    .get("busy_ms")
+                    .and_then(Json::as_f64)
+                    .ok_or("phase entry missing `busy_ms`")?,
+            });
+        }
         Ok(SmokeResult {
             cells: field("cells")? as usize,
             sim_total_s: field("sim_total_s")?,
             wall_ms: field("wall_ms")?,
+            jobs: field("jobs")? as usize,
+            host_cores: field("host_cores")? as usize,
+            phases,
         })
     }
 
@@ -117,21 +220,53 @@ pub fn smoke_config() -> SweepConfig {
         workloads: SMOKE_WORKLOADS.to_vec(),
         sparse_scale: crate::artifacts::GOLDEN_SPARSE_SCALE,
         graph_scale: crate::artifacts::GOLDEN_GRAPH_SCALE,
+        jobs: Some(smoke_jobs()),
         ..SweepConfig::default()
     }
 }
 
+/// Roll recorded spans up into per-phase busy times, [`SMOKE_PHASES`]
+/// order (phases with no spans are omitted).
+pub fn phase_rollup(spans: &[cubie_obs::SpanRecord]) -> Vec<PhaseBreakdown> {
+    SMOKE_PHASES
+        .iter()
+        .filter_map(|phase| {
+            let matching = spans.iter().filter(|s| s.phase == *phase);
+            let calls = matching.clone().count() as u64;
+            if calls == 0 {
+                return None;
+            }
+            Some(PhaseBreakdown {
+                phase: phase.to_string(),
+                calls,
+                busy_ms: matching.map(|s| s.dur_ns as f64 * 1e-6).sum(),
+            })
+        })
+        .collect()
+}
+
 /// Run the smoke sweep [`smoke_reps`] times, each on a cold private
-/// cache, and report cell count, simulated total and best wall time.
+/// cache, and report cell count, simulated total, best wall time and the
+/// best repetition's phase breakdown (spans are recorded for every rep;
+/// the guard-band for the instrumentation itself is well under the 4×
+/// wall gate).
 pub fn run_smoke() -> SmokeResult {
     let mut best_ms = f64::INFINITY;
     let mut cells = 0usize;
     let mut sim_total_s = 0.0f64;
+    let mut phases = Vec::new();
+    let config = smoke_config();
     for _ in 0..smoke_reps() {
+        cubie_obs::enable();
         let start = Instant::now();
-        let sweep = SweepRunner::with_cache(smoke_config(), Arc::new(SweepCache::default())).run();
+        let sweep = SweepRunner::with_cache(config.clone(), Arc::new(SweepCache::default())).run();
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        best_ms = best_ms.min(ms);
+        cubie_obs::disable();
+        let spans = cubie_obs::drain();
+        if ms < best_ms {
+            best_ms = ms;
+            phases = phase_rollup(&spans);
+        }
         cells = sweep.cells.len();
         sim_total_s = sweep.cells.iter().map(|c| c.time_s()).sum();
     }
@@ -139,19 +274,20 @@ pub fn run_smoke() -> SmokeResult {
         cells,
         sim_total_s,
         wall_ms: best_ms,
+        jobs: config.jobs.unwrap_or(0),
+        host_cores: host_cores(),
+        phases,
     }
 }
 
 /// The regression threshold factor (`CUBIE_SMOKE_FACTOR` override).
 pub fn smoke_factor() -> f64 {
-    std::env::var("CUBIE_SMOKE_FACTOR")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_FACTOR)
+    crate::env_parse("CUBIE_SMOKE_FACTOR").unwrap_or(DEFAULT_FACTOR)
 }
 
 /// Gate `current` against `baseline`: returns the list of failures
-/// (empty = pass).
+/// (empty = pass). A wall-time failure carries the per-phase attribution
+/// when both sides recorded a breakdown.
 pub fn check_smoke(current: &SmokeResult, baseline: &SmokeResult, factor: f64) -> Vec<String> {
     let mut failures = Vec::new();
     if current.cells != baseline.cells {
@@ -169,10 +305,37 @@ pub fn check_smoke(current: &SmokeResult, baseline: &SmokeResult, factor: f64) -
         ));
     }
     if current.wall_ms > factor * baseline.wall_ms {
-        failures.push(format!(
-            "wall time regressed: baseline {:.0} ms vs current {:.0} ms (limit {factor}×)",
-            baseline.wall_ms, current.wall_ms
-        ));
+        let mut msg = format!(
+            "wall time regressed: baseline {:.0} ms vs current {:.0} ms (limit {factor}×; \
+             baseline host: {} cores, jobs {}; current host: {} cores, jobs {})",
+            baseline.wall_ms,
+            current.wall_ms,
+            baseline.host_cores,
+            baseline.jobs,
+            current.host_cores,
+            current.jobs
+        );
+        for cur in &current.phases {
+            let base = baseline.phases.iter().find(|p| p.phase == cur.phase);
+            match base {
+                Some(b) if b.busy_ms > 0.0 => {
+                    msg.push_str(&format!(
+                        "\n    phase {:8} baseline {:8.1} ms vs current {:8.1} ms ({:.2}×)",
+                        cur.phase,
+                        b.busy_ms,
+                        cur.busy_ms,
+                        cur.busy_ms / b.busy_ms
+                    ));
+                }
+                _ => {
+                    msg.push_str(&format!(
+                        "\n    phase {:8} baseline        - vs current {:8.1} ms",
+                        cur.phase, cur.busy_ms
+                    ));
+                }
+            }
+        }
+        failures.push(msg);
     }
     failures
 }
@@ -186,6 +349,20 @@ mod tests {
             cells: 55,
             sim_total_s: 1.25,
             wall_ms: 900.0,
+            jobs: 4,
+            host_cores: 8,
+            phases: vec![
+                PhaseBreakdown {
+                    phase: "prepare".to_string(),
+                    calls: 4,
+                    busy_ms: 500.0,
+                },
+                PhaseBreakdown {
+                    phase: "time".to_string(),
+                    calls: 240,
+                    busy_ms: 300.0,
+                },
+            ],
         }
     }
 
@@ -197,6 +374,16 @@ mod tests {
         assert_eq!(back.cells, r.cells);
         assert_eq!(back.sim_total_s.to_bits(), r.sim_total_s.to_bits());
         assert_eq!(back.wall_ms.to_bits(), r.wall_ms.to_bits());
+        assert_eq!(back.jobs, r.jobs);
+        assert_eq!(back.host_cores, r.host_cores);
+        assert_eq!(back.phases, r.phases);
+    }
+
+    #[test]
+    fn v1_documents_are_rejected_with_guidance() {
+        let doc = Json::parse(r#"{"schema": "cubie-bench-smoke/v1", "cells": 1}"#).unwrap();
+        let err = SmokeResult::from_json(&doc).unwrap_err();
+        assert!(err.contains("re-record"), "{err}");
     }
 
     #[test]
@@ -217,6 +404,18 @@ mod tests {
     }
 
     #[test]
+    fn wall_regression_is_phase_attributed() {
+        let base = sample();
+        let mut cur = sample();
+        cur.wall_ms = base.wall_ms * 5.0;
+        cur.phases[0].busy_ms = 4000.0; // prepare blew up
+        let failures = check_smoke(&cur, &base, DEFAULT_FACTOR);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("phase prepare"), "{}", failures[0]);
+        assert!(failures[0].contains("8.00×"), "{}", failures[0]);
+    }
+
+    #[test]
     fn sim_drift_and_shape_change_fail() {
         let base = sample();
         let mut cur = sample();
@@ -232,5 +431,60 @@ mod tests {
         let mut cur = sample();
         cur.wall_ms = 1.0;
         assert!(check_smoke(&cur, &base, DEFAULT_FACTOR).is_empty());
+    }
+
+    #[test]
+    fn cubie_smoke_reps_rejects_zero_and_garbage() {
+        let _guard = crate::env_lock();
+        std::env::set_var("CUBIE_SMOKE_REPS", "0");
+        assert_eq!(smoke_reps(), SMOKE_REPS);
+        std::env::set_var("CUBIE_SMOKE_REPS", "lots");
+        assert_eq!(smoke_reps(), SMOKE_REPS);
+        std::env::set_var("CUBIE_SMOKE_REPS", "1");
+        assert_eq!(smoke_reps(), 1);
+        std::env::remove_var("CUBIE_SMOKE_REPS");
+        assert_eq!(smoke_reps(), SMOKE_REPS);
+    }
+
+    #[test]
+    fn cubie_smoke_jobs_rejects_zero_and_garbage() {
+        let _guard = crate::env_lock();
+        std::env::set_var("CUBIE_SMOKE_JOBS", "0");
+        assert_eq!(smoke_jobs(), SMOKE_JOBS);
+        std::env::set_var("CUBIE_SMOKE_JOBS", "auto");
+        assert_eq!(smoke_jobs(), SMOKE_JOBS);
+        std::env::set_var("CUBIE_SMOKE_JOBS", "2");
+        assert_eq!(smoke_jobs(), 2);
+        std::env::remove_var("CUBIE_SMOKE_JOBS");
+        assert_eq!(smoke_jobs(), SMOKE_JOBS);
+    }
+
+    #[test]
+    fn cubie_smoke_factor_falls_back_on_garbage() {
+        let _guard = crate::env_lock();
+        std::env::set_var("CUBIE_SMOKE_FACTOR", "loose");
+        assert_eq!(smoke_factor(), DEFAULT_FACTOR);
+        std::env::set_var("CUBIE_SMOKE_FACTOR", "2.5");
+        assert_eq!(smoke_factor(), 2.5);
+        std::env::remove_var("CUBIE_SMOKE_FACTOR");
+    }
+
+    #[test]
+    fn phase_rollup_groups_by_phase_in_pipeline_order() {
+        let rec = |phase: &'static str, dur_ms: u64| cubie_obs::SpanRecord {
+            phase,
+            label: String::new(),
+            tid: 0,
+            start_ns: 0,
+            dur_ns: dur_ms * 1_000_000,
+            bytes: 0,
+            items: 0,
+        };
+        let spans = vec![rec("time", 5), rec("prepare", 100), rec("time", 7)];
+        let phases = phase_rollup(&spans);
+        assert_eq!(phases.len(), 2);
+        assert_eq!((phases[0].phase.as_str(), phases[0].calls), ("prepare", 1));
+        assert_eq!((phases[1].phase.as_str(), phases[1].calls), ("time", 2));
+        assert!((phases[1].busy_ms - 12.0).abs() < 1e-9);
     }
 }

@@ -164,9 +164,7 @@ impl Default for SweepConfig {
             cases: None,
             sparse_scale: crate::sparse_scale(),
             graph_scale: crate::graph_scale(),
-            jobs: std::env::var("CUBIE_JOBS")
-                .ok()
-                .and_then(|v| v.parse().ok()),
+            jobs: crate::env_parse("CUBIE_JOBS"),
         }
     }
 }
@@ -600,6 +598,83 @@ mod tests {
         assert!(cfg.apply_filter("workload=nope").is_err());
         assert!(cfg.apply_filter("case=9").is_err());
         assert!(cfg.apply_filter("bogus").is_err());
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cli_flag_missing_value_is_an_error() {
+        for flag in ["--filter", "--jobs", "--sparse-scale", "--graph-scale"] {
+            let err = SweepConfig::from_cli_args(args(&[flag])).unwrap_err();
+            assert!(err.contains("needs a value"), "{flag}: {err}");
+            assert!(err.contains(flag), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn cli_unknown_argument_is_an_error() {
+        let err = SweepConfig::from_cli_args(args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn cli_bad_jobs_value_is_an_error() {
+        let err = SweepConfig::from_cli_args(args(&["--jobs", "fast"])).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        let err = SweepConfig::from_cli_args(args(&["--sparse-scale", "big"])).unwrap_err();
+        assert!(err.contains("--sparse-scale"), "{err}");
+    }
+
+    #[test]
+    fn cli_unknown_filter_names_the_offender() {
+        let err = SweepConfig::from_cli_args(args(&["--filter", "workload=gemmm"])).unwrap_err();
+        assert!(err.contains("gemmm"), "{err}");
+        let err = SweepConfig::from_cli_args(args(&["--filter", "variant=tcx"])).unwrap_err();
+        assert!(err.contains("tcx"), "{err}");
+        let err = SweepConfig::from_cli_args(args(&["--filter", "speed=fast"])).unwrap_err();
+        assert!(err.contains("unknown filter key"), "{err}");
+    }
+
+    #[test]
+    fn cli_repeated_workload_filter_is_last_wins() {
+        // Each workload filter restarts from the full Table 2 list, so the
+        // last one on the command line wins — repeats never intersect.
+        let cfg = SweepConfig::from_cli_args(args(&[
+            "--filter",
+            "workload=scan",
+            "--filter",
+            "workload=gemm",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.workloads, vec![Workload::Gemm]);
+    }
+
+    #[test]
+    fn cli_workload_filter_preserves_table2_order() {
+        // spmv listed before gemm on the command line; the sweep still
+        // runs Table 2 order (Gemm before Spmv).
+        let cfg = SweepConfig::from_cli_args(args(&["--filter", "workload=spmv,gemm"])).unwrap();
+        assert_eq!(cfg.workloads, vec![Workload::Gemm, Workload::Spmv]);
+    }
+
+    #[test]
+    fn cli_jobs_and_scales_parse() {
+        let _guard = crate::env_lock();
+        let cfg = SweepConfig::from_cli_args(args(&[
+            "--jobs",
+            "3",
+            "--sparse-scale",
+            "64",
+            "--graph-scale",
+            "512",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.jobs, Some(3));
+        assert_eq!(cfg.sparse_scale, 64);
+        assert_eq!(cfg.graph_scale, 512);
     }
 
     #[test]

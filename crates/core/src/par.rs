@@ -69,17 +69,21 @@ where
             let next = &next;
             let f = &f;
             let slots = &slots;
-            s.spawn(move || loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for i in start..end {
-                    // SAFETY: each index is claimed exactly once by the
-                    // atomic counter, so no two threads touch the same slot.
-                    unsafe {
-                        slots.set(i, f(i));
+            s.spawn(move || {
+                let mut span = cubie_obs::span("par", "map");
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    span.add_items((end - start) as u64);
+                    for i in start..end {
+                        // SAFETY: each index is claimed exactly once by the
+                        // atomic counter, so no two threads touch the same slot.
+                        unsafe {
+                            slots.set(i, f(i));
+                        }
                     }
                 }
             });
@@ -111,20 +115,24 @@ where
         for _ in 0..workers {
             let next = &next;
             let f = &f;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n_chunks {
-                    break;
+            s.spawn(move || {
+                let mut span = cubie_obs::span("par", "chunks");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        break;
+                    }
+                    let start = i * chunk_size;
+                    let end = (start + chunk_size).min(len);
+                    span.add_items(1);
+                    // SAFETY: chunk index `i` is claimed exactly once, and the
+                    // [start, end) ranges of distinct chunks are disjoint
+                    // within the original slice.
+                    let chunk = unsafe {
+                        std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start)
+                    };
+                    f(i, chunk);
                 }
-                let start = i * chunk_size;
-                let end = (start + chunk_size).min(len);
-                // SAFETY: chunk index `i` is claimed exactly once, and the
-                // [start, end) ranges of distinct chunks are disjoint
-                // within the original slice.
-                let chunk = unsafe {
-                    std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start)
-                };
-                f(i, chunk);
             });
         }
     });

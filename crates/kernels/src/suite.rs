@@ -264,6 +264,40 @@ pub enum PreparedCase {
 }
 
 impl PreparedCase {
+    /// The workload this case belongs to.
+    pub fn workload(&self) -> Workload {
+        match self {
+            PreparedCase::Gemm(_) => Workload::Gemm,
+            PreparedCase::Gemv(_) => Workload::Gemv,
+            PreparedCase::Fft(_) => Workload::Fft,
+            PreparedCase::Stencil(_) => Workload::Stencil,
+            PreparedCase::Scan(_) => Workload::Scan,
+            PreparedCase::Reduction(_) => Workload::Reduction,
+            PreparedCase::Pic(_) => Workload::Pic,
+            PreparedCase::Spmv { .. } => Workload::Spmv,
+            PreparedCase::Spgemm { .. } => Workload::Spgemm,
+            PreparedCase::Bfs { .. } => Workload::Bfs,
+        }
+    }
+
+    /// Approximate bytes of generated input state held by this case —
+    /// the `bytes` counter of the `prepare` profiling phase. Dense cases
+    /// are parameter-only (their inputs are generated at execution time)
+    /// and report 0.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            PreparedCase::Spmv { matrix, .. } | PreparedCase::Spgemm { matrix, .. } => {
+                // vals (f64) + col_idx (u32) + row_ptr (usize).
+                (matrix.nnz() * (8 + 4) + (matrix.rows + 1) * 8) as u64
+            }
+            PreparedCase::Bfs { graph, .. } => {
+                // adj (u32) + offsets (usize).
+                (graph.num_arcs() * 4 + (graph.n + 1) * 8) as u64
+            }
+            _ => 0,
+        }
+    }
+
     /// Case label (x-axis of Figure 3).
     pub fn label(&self) -> String {
         match self {
@@ -299,12 +333,18 @@ impl PreparedCase {
     }
 
     /// The analytic trace of one variant, or `None` when the paper does
-    /// not evaluate that variant (PiC baseline).
+    /// not evaluate that variant (PiC baseline). The functional execution
+    /// behind the trace is profiled as the `trace` phase, labelled
+    /// `workload/variant`.
     pub fn trace(&self, variant: Variant) -> Option<WorkloadTrace> {
         match self {
             PreparedCase::Pic(_) if variant == Variant::Baseline => return None,
             _ => {}
         }
+        let mut span = cubie_obs::span_with("trace", || {
+            format!("{}/{}", self.workload().key(), variant.label())
+        });
+        span.add_items(1);
         Some(match self {
             PreparedCase::Gemm(c) => gemm::trace(c, variant),
             PreparedCase::Gemv(c) => gemv::trace(c, variant),
@@ -324,7 +364,17 @@ impl PreparedCase {
 ///
 /// `sparse_scale` / `graph_scale` divide the sparse-matrix and graph
 /// sizes (1 = full published sizes; graphs at scale 1 need several GB).
+/// Generation is profiled as the `prepare` phase, labelled with the
+/// workload key and counting the bytes of generated input state.
 pub fn prepare_cases(w: Workload, sparse_scale: usize, graph_scale: usize) -> Vec<PreparedCase> {
+    let mut span = cubie_obs::span("prepare", w.key());
+    let cases = prepare_cases_inner(w, sparse_scale, graph_scale);
+    span.add_items(cases.len() as u64);
+    span.add_bytes(cases.iter().map(PreparedCase::approx_bytes).sum());
+    cases
+}
+
+fn prepare_cases_inner(w: Workload, sparse_scale: usize, graph_scale: usize) -> Vec<PreparedCase> {
     match w {
         Workload::Gemm => gemm::GemmCase::cases()
             .into_iter()

@@ -314,7 +314,23 @@ impl WorkloadTiming {
 }
 
 /// Time a workload: sequential launches, each paying launch overhead.
+/// Simulation is profiled as the `time` phase, labelled
+/// `workload/variant` (derived from the `workload-VARIANT-…` spelling of
+/// the kernel labels).
 pub fn time_workload(device: &DeviceSpec, trace: &WorkloadTrace) -> WorkloadTiming {
+    let mut span = cubie_obs::span_with("time", || {
+        let mut parts = trace
+            .kernels
+            .first()
+            .map(|k| k.label.splitn(3, '-'))
+            .into_iter()
+            .flatten();
+        match (parts.next(), parts.next()) {
+            (Some(w), Some(v)) => format!("{w}/{v}"),
+            _ => String::new(),
+        }
+    });
+    span.add_items(trace.kernels.len() as u64);
     let kernels: Vec<KernelTiming> = trace
         .kernels
         .iter()

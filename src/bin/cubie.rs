@@ -21,6 +21,16 @@
 //! cubie bench-smoke [--record]       pinned perf smoke sweep; gates
 //!                                    wall time against the committed
 //!                                    results/golden/BENCH_sweep.json
+//! cubie profile [opts] [--check]     run a (filterable) sweep with the
+//!                                    span recorder on; print a per-phase
+//!                                    hotspot table and write a Chrome
+//!                                    trace (results/profile_trace.json,
+//!                                    loadable in Perfetto / chrome://
+//!                                    tracing) plus the table as JSON
+//!                                    (results/profile_hotspots.json).
+//!                                    --check forces --jobs 1 and exits 1
+//!                                    unless the top-level phase times sum
+//!                                    to within 20% of wall time
 //!
 //! options: --device a100|h200|b200   (default: all three)
 //!          --case N                  Table 2 case index 0–4 (default 2)
@@ -59,6 +69,7 @@ fn main() {
         "advise" => advise_cmd(&rest),
         "golden" => golden_cmd(&rest),
         "bench-smoke" => bench_smoke_cmd(&rest),
+        "profile" => profile_cmd(&rest),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command `{other}`\n");
@@ -79,7 +90,9 @@ fn usage() {
          cubie verify <workload>\n  cubie errors [--quick]\n  \
          cubie advise <workload> [--device ...]\n  \
          cubie golden record|check|list [--only name,name]\n  \
-         cubie bench-smoke [--record]\n\n\
+         cubie bench-smoke [--record]\n  \
+         cubie profile [--filter workload=…|variant=…|device=…|case=…] [--jobs N] \
+         [--sparse-scale K] [--graph-scale K] [--check]\n\n\
          workloads: gemm pic fft stencil scan reduction bfs gemv spmv spgemm"
     );
 }
@@ -664,19 +677,28 @@ fn golden_list() {
 fn bench_smoke_cmd(rest: &[&String]) {
     let record = rest.iter().any(|a| a.as_str() == "--record");
     println!(
-        "smoke sweep: {} x {} reps (preparation included, best wall time kept)…",
+        "smoke sweep: {} x {} reps, jobs pinned to {} (host has {} cores; \
+         preparation included, best wall time kept)…",
         smoke::SMOKE_WORKLOADS
             .iter()
             .map(|w| w.spec().name)
             .collect::<Vec<_>>()
             .join("/"),
-        smoke::smoke_reps()
+        smoke::smoke_reps(),
+        smoke::smoke_jobs(),
+        smoke::host_cores()
     );
     let result = smoke::run_smoke();
     println!(
         "  {} cells, simulated total {:.3e} s, best wall {:.0} ms",
         result.cells, result.sim_total_s, result.wall_ms
     );
+    for p in &result.phases {
+        println!(
+            "    phase {:8} {:6} calls, busy {:8.1} ms",
+            p.phase, p.calls, p.busy_ms
+        );
+    }
     let out = report::results_dir().join("BENCH_sweep.json");
     std::fs::write(&out, result.to_json().to_pretty_string()).expect("write BENCH_sweep.json");
     println!("wrote {}", out.display());
@@ -707,5 +729,154 @@ fn bench_smoke_cmd(rest: &[&String]) {
             eprintln!("FAIL: {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// Coverage window of `profile --check`: the summed busy time of the
+/// top-level phases must land within ±20% of measured wall time.
+const CHECK_WINDOW: f64 = 0.20;
+
+fn profile_cmd(rest: &[&String]) {
+    // `--check` is a profile-only flag, stripped before the shared sweep
+    // argument parser sees the rest.
+    let check = rest.iter().any(|a| a.as_str() == "--check");
+    let sweep_args: Vec<String> = rest
+        .iter()
+        .filter(|a| a.as_str() != "--check")
+        .map(|s| (*s).clone())
+        .collect();
+    let mut cfg = match SweepConfig::from_cli_args(sweep_args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!(
+                "{e}\n\nusage: cubie profile [--filter workload=…|variant=…|device=…|case=…] \
+                 [--jobs N] [--sparse-scale K] [--graph-scale K] [--check]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if check {
+        // The coverage invariant only holds serially: with one worker the
+        // serial `par` fast path spawns no threads, so the prepare/trace/
+        // time spans are disjoint and must tile the run end to end. Under
+        // `--jobs N` the phases overlap and busy time legitimately
+        // exceeds wall.
+        cfg.jobs = Some(1);
+    }
+    println!(
+        "profiling {} workload(s), jobs {}…",
+        cfg.workloads.len(),
+        cfg.jobs.map_or("auto".to_string(), |j| j.to_string())
+    );
+
+    // A private cold cache, so case preparation is part of the profile
+    // (the process-global cache would hide it after the first run).
+    cubie::obs::enable();
+    let start = std::time::Instant::now();
+    let sweep = SweepRunner::with_cache(
+        cfg,
+        std::sync::Arc::new(cubie::bench::SweepCache::default()),
+    )
+    .run();
+    let wall_s = start.elapsed().as_secs_f64();
+    cubie::obs::disable();
+    let spans = cubie::obs::drain();
+
+    let aggs = cubie::obs::aggregate(&spans);
+    let rows: Vec<Vec<String>> = aggs
+        .iter()
+        .map(|a| {
+            vec![
+                a.phase.to_string(),
+                if a.label.is_empty() {
+                    "-".to_string()
+                } else {
+                    a.label.clone()
+                },
+                a.calls.to_string(),
+                report::seconds(a.busy_s),
+                report::seconds(a.wall_s),
+                if a.bytes == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1} MiB", a.bytes as f64 / (1024.0 * 1024.0))
+                },
+                a.items.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &["phase", "label", "calls", "busy", "wall", "bytes", "items"],
+            &rows
+        )
+    );
+    println!(
+        "{} cells swept in {}; {} spans recorded.",
+        sweep.cells.len(),
+        report::seconds(wall_s),
+        spans.len()
+    );
+
+    let results = report::results_dir();
+    let trace_path = results.join("profile_trace.json");
+    std::fs::write(
+        &trace_path,
+        cubie::obs::chrome_trace(&spans).to_pretty_string(),
+    )
+    .expect("write profile trace");
+    println!(
+        "wrote {} (open in https://ui.perfetto.dev)",
+        trace_path.display()
+    );
+
+    let hotspots = cubie::golden::obj(vec![
+        ("schema", "cubie-profile/v1".into()),
+        ("wall_s", wall_s.into()),
+        ("cells", sweep.cells.len().into()),
+        ("spans", spans.len().into()),
+        (
+            "hotspots",
+            cubie::golden::Json::Array(
+                aggs.iter()
+                    .map(|a| {
+                        cubie::golden::obj(vec![
+                            ("phase", a.phase.into()),
+                            ("label", a.label.as_str().into()),
+                            ("calls", a.calls.into()),
+                            ("busy_s", a.busy_s.into()),
+                            ("wall_s", a.wall_s.into()),
+                            ("bytes", a.bytes.into()),
+                            ("items", a.items.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let hotspot_path = results.join("profile_hotspots.json");
+    std::fs::write(&hotspot_path, hotspots.to_pretty_string()).expect("write hotspot table");
+    println!("wrote {}", hotspot_path.display());
+
+    if check {
+        let covered = cubie::obs::busy_of(&spans, &["prepare", "trace", "time"]);
+        let ratio = covered / wall_s;
+        println!(
+            "check: phases cover {} of {} wall ({:.0}%)",
+            report::seconds(covered),
+            report::seconds(wall_s),
+            100.0 * ratio
+        );
+        if (ratio - 1.0).abs() > CHECK_WINDOW {
+            eprintln!(
+                "FAIL: phase coverage {:.0}% outside the ±{:.0}% window — \
+                 instrumentation lost track of where time goes",
+                100.0 * ratio,
+                100.0 * CHECK_WINDOW
+            );
+            std::process::exit(1);
+        }
+        println!("PASS: instrumented phases account for wall time.");
     }
 }

@@ -24,6 +24,8 @@
 //!   (`bench::smoke`).
 //! * [`golden`] — canonical JSON, the artifact schema, and the
 //!   tolerance-aware golden differ behind `cubie golden record|check`.
+//! * [`obs`] — the always-compiled span/counter instrumentation layer
+//!   behind `cubie profile` (phase hotspots + Chrome traces).
 //!
 //! ## Quickstart
 //!
@@ -49,5 +51,6 @@ pub use cubie_device as device;
 pub use cubie_golden as golden;
 pub use cubie_graph as graph;
 pub use cubie_kernels as kernels;
+pub use cubie_obs as obs;
 pub use cubie_sim as sim;
 pub use cubie_sparse as sparse;

@@ -93,6 +93,6 @@ fn committed_goldens_parse_and_declare_the_schema() {
     let doc = Json::parse(&smoke).unwrap();
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("cubie-bench-smoke/v1")
+        Some("cubie-bench-smoke/v2")
     );
 }
