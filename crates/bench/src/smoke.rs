@@ -9,7 +9,7 @@
 //! * cell counts and the summed simulated time must match the baseline
 //!   (epsilon `1e-9` — the simulation is deterministic, so this is a
 //!   correctness tripwire, not a perf one);
-//! * wall time may not exceed `factor ×` the baseline (default 4.0 —
+//! * wall time may not exceed `factor ×` the baseline (default 3.0 —
 //!   generous, because CI machines are noisy and heterogeneous; override
 //!   with `CUBIE_SMOKE_FACTOR`). When the gate trips, the per-phase
 //!   breakdown attributes the regression (generation vs trace vs timing)
@@ -38,8 +38,10 @@ use crate::sweep::{SweepCache, SweepConfig, SweepRunner};
 pub const SMOKE_SCHEMA: &str = "cubie-bench-smoke/v2";
 
 /// Default regression threshold: wall time may grow this much over the
-/// committed baseline before the gate fails.
-pub const DEFAULT_FACTOR: f64 = 4.0;
+/// committed baseline before the gate fails. Tightened from 4.0 once the
+/// persistent worker pool removed per-call thread-spawn overhead from
+/// the sweep's dispatch path.
+pub const DEFAULT_FACTOR: f64 = 3.0;
 
 /// Workloads the smoke run sweeps — cheap representatives of the four
 /// quadrants (and the three input families: dense, sparse, graph).
@@ -395,9 +397,9 @@ mod tests {
     fn wall_regression_fails_only_beyond_factor() {
         let base = sample();
         let mut cur = sample();
-        cur.wall_ms = base.wall_ms * 3.9;
+        cur.wall_ms = base.wall_ms * 2.9;
         assert!(check_smoke(&cur, &base, DEFAULT_FACTOR).is_empty());
-        cur.wall_ms = base.wall_ms * 4.1;
+        cur.wall_ms = base.wall_ms * 3.1;
         let failures = check_smoke(&cur, &base, DEFAULT_FACTOR);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("wall time regressed"));

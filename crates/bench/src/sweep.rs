@@ -475,6 +475,11 @@ impl SweepRunner {
     pub fn run(&self) -> Sweep {
         let cfg = &self.config;
         let prev_jobs = cfg.jobs.map(set_max_workers);
+        // Spawn the persistent pool up to the job cap before the first
+        // parallel region: back-to-back sweeps in one process (and the
+        // nested `par_*` calls inside each phase) reuse these workers
+        // instead of paying thread creation per call.
+        cubie_core::pool::prewarm();
 
         // Phase A — preparation + traces, fanned out over workloads.
         let (ss, gs) = (cfg.sparse_scale, cfg.graph_scale);

@@ -23,8 +23,9 @@
 //! * [`error`] — average / maximum numerical error metrics (Table 6).
 //! * [`matrix`] — small row-major dense matrix container shared by the
 //!   workloads.
-//! * [`par`] — scoped-thread data-parallel helpers used by the functional
-//!   executions of the workloads.
+//! * [`par`] — data-parallel helpers used by the functional executions
+//!   of the workloads, running on the persistent worker pool in
+//!   [`pool`].
 
 #![warn(missing_docs)]
 
@@ -35,6 +36,7 @@ pub mod frag;
 pub mod matrix;
 pub mod mma;
 pub mod par;
+pub mod pool;
 pub mod rng;
 
 pub use complex::C64;

@@ -50,20 +50,74 @@ fn perturb(v: f64) -> f64 {
     }
 }
 
+/// The arithmetic core shared by every FP64 MMA entry point: one
+/// `m8n8k4` chain reading the operands *in place* through row strides —
+/// `a` rows at `a0 + i·lda`, `b` rows at `b0 + kk·ldb`, `c` rows at
+/// `c0 + i·ldc` — so callers with tile-aligned operands skip the scratch
+/// packing entirely. The element order (`i`-major, `j` inner) and the
+/// `k`-ascending FMA chain are exactly those of the packed entry points,
+/// and [`perturb`] applies once per element chain, so every caller stays
+/// bit-identical no matter which path dispatched it.
+#[inline]
+#[allow(clippy::too_many_arguments)] // nine scalars beat a one-use struct on this hot path
+fn mma_f64_m8n8k4_strided_core(
+    a: &[f64],
+    a0: usize,
+    lda: usize,
+    b: &[f64],
+    b0: usize,
+    ldb: usize,
+    c: &mut [f64],
+    c0: usize,
+    ldc: usize,
+) {
+    // Fixed-size row views hoist every bounds check out of the FMA
+    // loops (one check per row slice instead of three per FMA).
+    let br: [&[f64; 8]; 4] =
+        std::array::from_fn(|kk| b[b0 + kk * ldb..b0 + kk * ldb + 8].try_into().unwrap());
+    for i in 0..8 {
+        let ar: &[f64; 4] = a[a0 + i * lda..a0 + i * lda + 4].try_into().unwrap();
+        let cr: &mut [f64; 8] = (&mut c[c0 + i * ldc..c0 + i * ldc + 8]).try_into().unwrap();
+        for (j, out) in cr.iter_mut().enumerate() {
+            let mut acc = *out;
+            for (kk, &av) in ar.iter().enumerate() {
+                acc = av.mul_add(br[kk][j], acc);
+            }
+            *out = perturb(acc);
+        }
+    }
+}
+
 /// One FP64 `m8n8k4` MMA on row-major matrices:
 /// `c (8×8) += a (8×4) · b (4×8)`, with the tensor-core FMA chain per
 /// element. Increments `counters.mma_f64`.
 #[inline]
 pub fn mma_f64_m8n8k4(a: &[f64; 32], b: &[f64; 32], c: &mut [f64; 64], counters: &mut OpCounters) {
-    for i in 0..8 {
-        for j in 0..8 {
-            let mut acc = c[i * 8 + j];
-            for k in 0..4 {
-                acc = a[i * 4 + k].mul_add(b[k * 8 + j], acc);
-            }
-            c[i * 8 + j] = perturb(acc);
-        }
-    }
+    mma_f64_m8n8k4_strided_core(a, 0, 4, b, 0, 8, c, 0, 8);
+    counters.mma_f64 += 1;
+}
+
+/// One FP64 `m8n8k4` MMA reading its operands in place from larger
+/// row-major matrices: the 8×4 `A` tile starts at `a[a0]` with row
+/// stride `lda`, the 4×8 `B` tile at `b[b0]` with row stride `ldb`, and
+/// the 8×8 accumulator at `c[c0]` with row stride `ldc`. Bit-identical
+/// to packing the tiles and calling [`mma_f64_m8n8k4`], without the
+/// scratch fills. Increments `counters.mma_f64`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the strided-core signature plus counters
+pub fn mma_f64_m8n8k4_strided(
+    a: &[f64],
+    a0: usize,
+    lda: usize,
+    b: &[f64],
+    b0: usize,
+    ldb: usize,
+    c: &mut [f64],
+    c0: usize,
+    ldc: usize,
+    counters: &mut OpCounters,
+) {
+    mma_f64_m8n8k4_strided_core(a, a0, lda, b, b0, ldb, c, c0, ldc);
     counters.mma_f64 += 1;
 }
 
@@ -84,15 +138,7 @@ pub fn cc_mma_f64_m8n8k4(
     c: &mut [f64; 64],
     counters: &mut OpCounters,
 ) {
-    for i in 0..8 {
-        for j in 0..8 {
-            let mut acc = c[i * 8 + j];
-            for k in 0..4 {
-                acc = a[i * 4 + k].mul_add(b[k * 8 + j], acc);
-            }
-            c[i * 8 + j] = perturb(acc);
-        }
-    }
+    mma_f64_m8n8k4_strided_core(a, 0, 4, b, 0, 8, c, 0, 8);
     counters.fma_f64 += MMA_F64_FMAS;
     counters.int_ops += MMA_F64_FMAS; // operand shuffles
 }
@@ -157,18 +203,12 @@ pub fn cc_mma_b1_m8n8k128_and_popc(
 /// matrices. All matrices row-major; `c += a · b`.
 #[inline]
 pub fn mma_f64_8x8x8(a: &[f64; 64], b: &[f64; 64], c: &mut [f64; 64], counters: &mut OpCounters) {
-    let mut at = [0.0f64; 32];
-    let mut bt = [0.0f64; 32];
-    for half in 0..2 {
-        let k0 = half * 4;
-        for i in 0..8 {
-            at[i * 4..i * 4 + 4].copy_from_slice(&a[i * 8 + k0..i * 8 + k0 + 4]);
-        }
-        for k in 0..4 {
-            bt[k * 8..k * 8 + 8].copy_from_slice(&b[(k0 + k) * 8..(k0 + k) * 8 + 8]);
-        }
-        mma_f64_m8n8k4(&at, &bt, c, counters);
-    }
+    // The two k-halves read `a`/`b` in place (k-half `h` is the 8×4 tile
+    // at column 4h of `a` and the 4×8 tile at row 4h of `b`) — same FMA
+    // chains as packing into scratch, minus the 64 copies per call.
+    mma_f64_m8n8k4_strided_core(a, 0, 8, b, 0, 8, c, 0, 8);
+    mma_f64_m8n8k4_strided_core(a, 4, 8, b, 32, 8, c, 0, 8);
+    counters.mma_f64 += 2;
 }
 
 /// CUDA-core replacement of [`mma_f64_8x8x8`] (identical numerics,
@@ -180,10 +220,10 @@ pub fn cc_mma_f64_8x8x8(
     c: &mut [f64; 64],
     counters: &mut OpCounters,
 ) {
-    let mut scratch = OpCounters::new();
-    mma_f64_8x8x8(a, b, c, &mut scratch);
-    counters.fma_f64 += scratch.mma_f64 * MMA_F64_FMAS;
-    counters.int_ops += scratch.mma_f64 * MMA_F64_FMAS; // operand shuffles
+    mma_f64_m8n8k4_strided_core(a, 0, 8, b, 0, 8, c, 0, 8);
+    mma_f64_m8n8k4_strided_core(a, 4, 8, b, 32, 8, c, 0, 8);
+    counters.fma_f64 += 2 * MMA_F64_FMAS;
+    counters.int_ops += 2 * MMA_F64_FMAS; // operand shuffles
 }
 
 /// Multiply an `M×K` by a `K×N` row-major matrix through tiled FP64 MMA
@@ -202,6 +242,16 @@ pub fn mma_tiled_f64(
     assert_eq!(a.len(), m * k, "A must be M×K");
     assert_eq!(b.len(), k * n, "B must be K×N");
     assert_eq!(c.len(), m * n, "C must be M×N");
+    if m.is_multiple_of(8)
+        && n.is_multiple_of(8)
+        && k.is_multiple_of(4)
+        && m != 0
+        && n != 0
+        && k != 0
+    {
+        mma_tiled_f64_aligned(a, b, c, m, n, k, counters);
+        return;
+    }
     let mut at = [0.0f64; 32];
     let mut bt = [0.0f64; 32];
     let mut ct = [0.0f64; 64];
@@ -238,6 +288,43 @@ pub fn mma_tiled_f64(
                 }
             }
         }
+    }
+}
+
+/// Tile-aligned fast path of [`mma_tiled_f64`] (`m % 8 == n % 8 == 0`,
+/// `k % 4 == 0`): every tile is interior, so the MMAs read `a`/`b` and
+/// accumulate into `c` in place — no scratch zero-fill, no per-element
+/// bounds guards, no copy-in/copy-out — and counters are batched per
+/// tile-row instead of per MMA. The loop nest (`k0` innermost-outer,
+/// element chains inside the core) matches the ragged path exactly, so
+/// results are bit-identical, perturbation injection included.
+fn mma_tiled_f64_aligned(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    counters: &mut OpCounters,
+) {
+    let mmas_per_tile_row = (n as u64 / 8) * (k as u64 / 4);
+    for i0 in (0..m).step_by(8) {
+        for j0 in (0..n).step_by(8) {
+            for k0 in (0..k).step_by(4) {
+                mma_f64_m8n8k4_strided_core(
+                    a,
+                    i0 * k + k0,
+                    k,
+                    b,
+                    k0 * n + j0,
+                    n,
+                    c,
+                    i0 * n + j0,
+                    n,
+                );
+            }
+        }
+        counters.mma_f64 += mmas_per_tile_row;
     }
 }
 
@@ -378,6 +465,143 @@ mod tests {
         }
         // ceil(13/8)=2, ceil(9/8)=2, ceil(10/4)=3 tiles.
         assert_eq!(ctr.mma_f64, 2 * 2 * 3);
+    }
+
+    /// The pre-fast-path tiled algorithm: pack every tile into scratch
+    /// (zero-padded) and go through the packed MMA entry point. Kept as
+    /// the reference the aligned fast path must match bit-for-bit.
+    fn tiled_ref_packed(
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        m: usize,
+        n: usize,
+        k: usize,
+        counters: &mut OpCounters,
+    ) {
+        let mut at = [0.0f64; 32];
+        let mut bt = [0.0f64; 32];
+        let mut ct = [0.0f64; 64];
+        for i0 in (0..m).step_by(8) {
+            for j0 in (0..n).step_by(8) {
+                ct.fill(0.0);
+                for (ii, row) in ct.chunks_exact_mut(8).enumerate() {
+                    if i0 + ii < m {
+                        for (jj, v) in row.iter_mut().enumerate() {
+                            if j0 + jj < n {
+                                *v = c[(i0 + ii) * n + (j0 + jj)];
+                            }
+                        }
+                    }
+                }
+                for k0 in (0..k).step_by(4) {
+                    at.fill(0.0);
+                    bt.fill(0.0);
+                    for ii in 0..8usize.min(m - i0) {
+                        for kk in 0..4usize.min(k - k0) {
+                            at[ii * 4 + kk] = a[(i0 + ii) * k + (k0 + kk)];
+                        }
+                    }
+                    for kk in 0..4usize.min(k - k0) {
+                        for jj in 0..8usize.min(n - j0) {
+                            bt[kk * 8 + jj] = b[(k0 + kk) * n + (j0 + jj)];
+                        }
+                    }
+                    mma_f64_m8n8k4(&at, &bt, &mut ct, counters);
+                }
+                for ii in 0..8usize.min(m - i0) {
+                    for jj in 0..8usize.min(n - j0) {
+                        c[(i0 + ii) * n + (j0 + jj)] = ct[ii * 8 + jj];
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_fast_path_is_bit_identical_to_packed_path() {
+        // Tile-aligned shapes take the strided fast path; it must agree
+        // with the packing reference to the last bit, counters included.
+        for (seed, (m, n, k)) in [(8, 8, 4), (16, 8, 8), (24, 16, 12), (40, 32, 20)]
+            .into_iter()
+            .enumerate()
+        {
+            let mut g = LcgF64::new(seed as u64 + 11);
+            let a = g.vec(m * k);
+            let b = g.vec(k * n);
+            let c0 = g.vec(m * n); // nonzero accumulator exercises seeding
+            let mut c_fast = c0.clone();
+            let mut c_ref = c0.clone();
+            let mut k_fast = OpCounters::new();
+            let mut k_ref = OpCounters::new();
+            mma_tiled_f64(&a, &b, &mut c_fast, m, n, k, &mut k_fast);
+            tiled_ref_packed(&a, &b, &mut c_ref, m, n, k, &mut k_ref);
+            for (i, (x, y)) in c_fast.iter().zip(&c_ref).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "({m}x{n}x{k}) element {i}: fast path diverged from packed"
+                );
+            }
+            assert_eq!(k_fast.mma_f64, k_ref.mma_f64, "MMA count must not change");
+        }
+    }
+
+    #[test]
+    fn strided_mma_matches_packed_mma() {
+        // A 16×12 / 12×24 problem; take the tile at (8, 8)..(16, 16) and
+        // k-rows 4..8, both packed and strided.
+        let mut g = LcgF64::new(5);
+        let (m, n, k) = (16, 24, 12);
+        let a = g.vec(m * k);
+        let b = g.vec(k * n);
+        let c0 = g.vec(m * n);
+        let (i0, j0, k0) = (8, 8, 4);
+        let mut at = [0.0; 32];
+        let mut bt = [0.0; 32];
+        let mut ct = [0.0; 64];
+        for ii in 0..8 {
+            for kk in 0..4 {
+                at[ii * 4 + kk] = a[(i0 + ii) * k + (k0 + kk)];
+            }
+        }
+        for kk in 0..4 {
+            for jj in 0..8 {
+                bt[kk * 8 + jj] = b[(k0 + kk) * n + (j0 + jj)];
+            }
+        }
+        for ii in 0..8 {
+            for jj in 0..8 {
+                ct[ii * 8 + jj] = c0[(i0 + ii) * n + (j0 + jj)];
+            }
+        }
+        let mut k1 = OpCounters::new();
+        let mut k2 = OpCounters::new();
+        mma_f64_m8n8k4(&at, &bt, &mut ct, &mut k1);
+        let mut c = c0.clone();
+        mma_f64_m8n8k4_strided(
+            &a,
+            i0 * k + k0,
+            k,
+            &b,
+            k0 * n + j0,
+            n,
+            &mut c,
+            i0 * n + j0,
+            n,
+            &mut k2,
+        );
+        for ii in 0..8 {
+            for jj in 0..8 {
+                assert_eq!(
+                    c[(i0 + ii) * n + (j0 + jj)].to_bits(),
+                    ct[ii * 8 + jj].to_bits(),
+                    "strided MMA diverged from packed at ({ii},{jj})"
+                );
+            }
+        }
+        assert_eq!(k1.mma_f64, 1);
+        assert_eq!(k2.mma_f64, 1);
     }
 
     #[test]

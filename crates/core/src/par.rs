@@ -1,10 +1,12 @@
-//! Scoped-thread data-parallel helpers for the functional kernel
-//! executions.
+//! Data-parallel helpers for the functional kernel executions, running
+//! on the persistent worker pool in [`crate::pool`].
 //!
-//! The workloads model GPU thread *blocks*; functionally we execute block
-//! ranges across CPU threads with `std::thread::scope`, which guarantees
-//! data-race freedom through borrow checking (outputs are split into
-//! disjoint chunks, per-block results are collected and merged).
+//! The workloads model GPU thread *blocks*; functionally we execute
+//! block ranges across CPU threads. Work is distributed dynamically
+//! (atomic cursor), but every index is claimed exactly once and written
+//! to its own output slot, so results are index-ordered and
+//! bit-identical for any worker cap — `--jobs 1` and `--jobs 8` produce
+//! the same bytes.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -12,13 +14,23 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// [`set_max_workers`] (the `--jobs N` flag of the sweep engine).
 static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
+/// Largest number of partial blocks [`par_reduce`] splits its domain
+/// into. The partition is a function of `n` alone — never of the worker
+/// count — so the merge tree (and any float result) is identical under
+/// every cap.
+const MAX_REDUCE_BLOCKS: usize = 256;
+
 /// Cap the number of worker threads every subsequent `par_*` call may
 /// use (0 restores "all available cores"). Returns the previous cap.
 ///
 /// Results of `par_map`/`par_reduce` are collected in index order, so
 /// changing the cap never changes any result — only the wall-clock time.
+/// The persistent pool resizes to the new cap: shrinking retires parked
+/// workers, growing spawns lazily on the next parallel call.
 pub fn set_max_workers(n: usize) -> usize {
-    MAX_WORKERS.swap(n, Ordering::Relaxed)
+    let prev = MAX_WORKERS.swap(n, Ordering::Relaxed);
+    crate::pool::resize_to_cap();
+    prev
 }
 
 /// The current worker cap (0 = uncapped).
@@ -33,10 +45,9 @@ pub fn workers_for(n: usize) -> usize {
     }
     let cap = MAX_WORKERS.load(Ordering::Relaxed);
     let limit = if cap == 0 {
-        // Uncapped: one worker per available core.
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        // Uncapped: one worker per available core (resolved once per
+        // process — see `pool::host_parallelism`).
+        crate::pool::host_parallelism()
     } else {
         // An explicit cap is honoured verbatim — deliberately allowed to
         // exceed the core count so `--jobs N` exercises real multi-thread
@@ -60,36 +71,34 @@ where
     if workers == 1 {
         return (0..n).map(f).collect();
     }
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<T> = Vec::with_capacity(n);
     let next = AtomicUsize::new(0);
     let chunk = (n / (workers * 8)).max(1);
-    let slots = as_send_slots(&mut out);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let next = &next;
-            let f = &f;
-            let slots = &slots;
-            s.spawn(move || {
-                let mut span = cubie_obs::span("par", "map");
-                loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + chunk).min(n);
-                    span.add_items((end - start) as u64);
-                    for i in start..end {
-                        // SAFETY: each index is claimed exactly once by the
-                        // atomic counter, so no two threads touch the same slot.
-                        unsafe {
-                            slots.set(i, f(i));
-                        }
-                    }
+    let slots = SendSlots(out.as_mut_ptr());
+    crate::pool::run_batch(workers - 1, &|| {
+        let mut span = cubie_obs::span("par", "map");
+        loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            span.add_items((end - start) as u64);
+            for i in start..end {
+                // SAFETY: each index is claimed exactly once by the
+                // atomic counter, so no two threads touch the same slot.
+                unsafe {
+                    slots.set(i, f(i));
                 }
-            });
+            }
         }
     });
-    out.into_iter().map(|v| v.expect("slot filled")).collect()
+    // SAFETY: the cursor handed out every index in 0..n and `run_batch`
+    // returned normally, so all n slots are initialized. (If a worker
+    // panicked, `run_batch` re-raised above and the still-empty Vec
+    // leaks the written elements — safe, if wasteful.)
+    unsafe { out.set_len(n) };
+    out
 }
 
 /// Apply `f` to equally sized chunks of `data` in parallel;
@@ -111,59 +120,72 @@ where
     let next = AtomicUsize::new(0);
     let base = data.as_mut_ptr() as usize;
     let len = data.len();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let next = &next;
-            let f = &f;
-            s.spawn(move || {
-                let mut span = cubie_obs::span("par", "chunks");
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_chunks {
-                        break;
-                    }
-                    let start = i * chunk_size;
-                    let end = (start + chunk_size).min(len);
-                    span.add_items(1);
-                    // SAFETY: chunk index `i` is claimed exactly once, and the
-                    // [start, end) ranges of distinct chunks are disjoint
-                    // within the original slice.
-                    let chunk = unsafe {
-                        std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start)
-                    };
-                    f(i, chunk);
-                }
-            });
+    crate::pool::run_batch(workers - 1, &|| {
+        let mut span = cubie_obs::span("par", "chunks");
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_chunks {
+                break;
+            }
+            let start = i * chunk_size;
+            let end = (start + chunk_size).min(len);
+            // Items are *elements* processed (matching `par_map`), not
+            // chunk count, so profile attribution is comparable.
+            span.add_items((end - start) as u64);
+            // SAFETY: chunk index `i` is claimed exactly once, and the
+            // [start, end) ranges of distinct chunks are disjoint
+            // within the original slice.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), end - start) };
+            f(i, chunk);
         }
     });
 }
 
 /// Parallel fold-and-reduce over `0..n`: each index produces a value with
 /// `f`, merged associatively with `merge` starting from `identity`.
-/// The merge order is deterministic (index-ascending) so results are
-/// reproducible run-to-run.
+///
+/// The domain is split into fixed blocks (a function of `n` only); each
+/// block folds linearly in index order into one partial, and the
+/// partials merge in block order seeded with `identity`. Both the block
+/// partition and the merge tree are independent of the worker cap, so
+/// results — float results included — are bit-identical for every
+/// `--jobs` value and reproducible run-to-run.
 pub fn par_reduce<T, F, M>(n: usize, identity: T, f: F, merge: M) -> T
 where
-    T: Send + Clone,
+    T: Send,
     F: Fn(usize) -> T + Sync,
-    M: Fn(T, T) -> T,
+    M: Fn(T, T) -> T + Sync,
 {
-    par_map(n, f).into_iter().fold(identity, merge)
+    if n == 0 {
+        return identity;
+    }
+    let block = n.div_ceil(MAX_REDUCE_BLOCKS).max(1);
+    let n_blocks = n.div_ceil(block);
+    let partials = par_map(n_blocks, |b| {
+        let start = b * block;
+        let end = (start + block).min(n);
+        let mut acc = f(start);
+        for i in start + 1..end {
+            acc = merge(acc, f(i));
+        }
+        acc
+    });
+    partials.into_iter().fold(identity, merge)
 }
 
-struct SendSlots<T>(*mut Option<T>);
+/// Raw-pointer view of `par_map`'s uninitialized output buffer,
+/// shareable across the pool workers.
+struct SendSlots<T>(*mut T);
 unsafe impl<T: Send> Sync for SendSlots<T> {}
 impl<T> SendSlots<T> {
     /// # Safety
     /// Caller must guarantee exclusive access to index `i`, which must be
-    /// in bounds of the slice the slots were created from.
+    /// in bounds of the buffer the slots were created from; the slot must
+    /// be uninitialized (the write does not drop a previous value).
     unsafe fn set(&self, i: usize, value: T) {
-        unsafe { *self.0.add(i) = Some(value) }
+        unsafe { self.0.add(i).write(value) }
     }
-}
-
-fn as_send_slots<T>(v: &mut [Option<T>]) -> SendSlots<T> {
-    SendSlots(v.as_mut_ptr())
 }
 
 #[cfg(test)]
@@ -189,6 +211,15 @@ mod tests {
     fn par_map_single() {
         let v = par_map(1, |i| i + 41);
         assert_eq!(v, vec![41]);
+    }
+
+    #[test]
+    fn par_map_nontrivial_drop_types() {
+        let v = par_map(500, |i| vec![i; i % 7]);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(x.len(), i % 7);
+        }
+        drop(v); // every element must drop cleanly exactly once
     }
 
     #[test]
@@ -225,6 +256,23 @@ mod tests {
         let a = par_reduce(5000, 0.0f64, |i| (i as f64).sin(), |x, y| x + y);
         let b = par_reduce(5000, 0.0f64, |i| (i as f64).sin(), |x, y| x + y);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_reduce_float_merge_is_cap_independent() {
+        // The blocked merge tree is a function of n alone, so a float
+        // reduction gives the same bits under any worker cap.
+        let _guard = crate::pool::cap_lock();
+        let run = || par_reduce(5000, 0.0f64, |i| (i as f64).sin(), |x, y| x + y);
+        let prev = set_max_workers(1);
+        let serial = run();
+        set_max_workers(3);
+        let three = run();
+        set_max_workers(8);
+        let eight = run();
+        set_max_workers(prev);
+        assert_eq!(serial.to_bits(), three.to_bits());
+        assert_eq!(serial.to_bits(), eight.to_bits());
     }
 
     #[test]

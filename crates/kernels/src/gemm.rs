@@ -12,7 +12,7 @@
 //! computation is introduced by the MMA mapping), as Section 5.2 notes.
 
 use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
-use cubie_core::mma::mma_f64_m8n8k4;
+use cubie_core::mma::{mma_f64_m8n8k4, mma_f64_m8n8k4_strided};
 use cubie_core::{par, DenseMatrix, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
@@ -248,12 +248,31 @@ fn run_tiled_mma(
                 // Split-K: each chunk accumulates its own fused-chain
                 // partial; partials combine in ascending chunk order —
                 // the semantics of the reduction launch.
+                let full_tile = bm - wi >= 8 && bn - wj >= 8;
                 for c0 in (0..k).step_by(chunk) {
                     ct.fill(0.0);
                     for k0 in (c0..(c0 + chunk).min(k)).step_by(4) {
+                        let kk_max = 4.min(k - k0);
+                        if full_tile && kk_max == 4 {
+                            // Interior warp tile at full MMA depth: read
+                            // A/B in place — bit-identical to packing
+                            // (same fused chain), minus the scratch fills.
+                            mma_f64_m8n8k4_strided(
+                                a_s,
+                                (i0 + wi) * k + k0,
+                                k,
+                                b_s,
+                                k0 * n + (j0 + wj),
+                                n,
+                                &mut ct,
+                                0,
+                                8,
+                                &mut scratch,
+                            );
+                            continue;
+                        }
                         at.fill(0.0);
                         bt.fill(0.0);
-                        let kk_max = 4.min(k - k0);
                         for ii in 0..8.min(bm - wi) {
                             for kk in 0..kk_max {
                                 at[ii * 4 + kk] = a_s[(i0 + wi + ii) * k + (k0 + kk)];

@@ -35,7 +35,11 @@ use cubie_golden::{obj, Json};
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Monotonic source of small per-thread identifiers (thread 0 = first
-/// thread that records a span, usually main).
+/// thread that records a span, usually main). The `cubie-core` worker
+/// pool keeps its threads alive across `par_*` calls, so pool workers
+/// hold one tid for the whole process — per-worker busy-ms attribution
+/// (and Chrome-trace rows) stay stable across sweeps instead of
+/// allocating a fresh lane per spawned thread.
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {

@@ -690,8 +690,12 @@ fn bench_smoke_cmd(rest: &[&String]) {
     );
     let result = smoke::run_smoke();
     println!(
-        "  {} cells, simulated total {:.3e} s, best wall {:.0} ms",
-        result.cells, result.sim_total_s, result.wall_ms
+        "  {} cells, simulated total {:.3e} s, best wall {:.0} ms \
+         ({} persistent pool worker(s))",
+        result.cells,
+        result.sim_total_s,
+        result.wall_ms,
+        cubie::core::pool::worker_count()
     );
     for p in &result.phases {
         println!(
@@ -813,10 +817,11 @@ fn profile_cmd(rest: &[&String]) {
         )
     );
     println!(
-        "{} cells swept in {}; {} spans recorded.",
+        "{} cells swept in {}; {} spans recorded; {} persistent pool worker(s).",
         sweep.cells.len(),
         report::seconds(wall_s),
-        spans.len()
+        spans.len(),
+        cubie::core::pool::worker_count()
     );
 
     let results = report::results_dir();

@@ -1,0 +1,129 @@
+//! Process-level guarantees of the persistent worker pool: sweep results
+//! stay bit-identical for any `--jobs` value, the pool survives and is
+//! reused across back-to-back sweeps, `set_max_workers` takes effect
+//! mid-process, and repeated `par_map` calls neither leak nor respawn
+//! worker threads.
+//!
+//! These run as one integration-test process (separate from the unit
+//! tests), so the pool observed here is exactly the one a `cubie sweep`
+//! invocation would use. The pool and its cap are process singletons, so
+//! every test serializes on [`pool_lock`] — the harness otherwise runs
+//! them concurrently and the size assertions would race.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cubie::bench::{SweepCache, SweepConfig, SweepRunner};
+use cubie::core::par::{par_map, set_max_workers};
+use cubie::core::pool;
+use cubie::kernels::Workload;
+
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn pool_lock() -> MutexGuard<'static, ()> {
+    POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Set the worker cap and wait for the pool to settle at ≤ cap−1 threads
+/// (retiring parked workers takes a condvar round-trip). Returns the
+/// previous cap.
+fn settle_to(cap: usize) -> usize {
+    let prev = set_max_workers(cap);
+    for _ in 0..1000 {
+        if pool::worker_count() <= cap.saturating_sub(1) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    prev
+}
+
+fn small_config(jobs: Option<usize>) -> SweepConfig {
+    SweepConfig {
+        workloads: vec![Workload::Scan, Workload::Spmv],
+        variants: None,
+        devices: cubie::device::all_devices(),
+        cases: None,
+        sparse_scale: 64,
+        graph_scale: 512,
+        jobs,
+    }
+}
+
+#[test]
+fn sweep_results_are_bit_identical_across_jobs_1_2_8() {
+    let _g = pool_lock();
+    // Each run uses a private cold cache: every cell is recomputed under
+    // a different worker schedule, and every f64 must still match
+    // bit-for-bit (SweepCell's PartialEq is exact).
+    let runs: Vec<_> = [1usize, 2, 8]
+        .into_iter()
+        .map(|jobs| {
+            SweepRunner::with_cache(small_config(Some(jobs)), Arc::new(SweepCache::default())).run()
+        })
+        .collect();
+    assert!(!runs[0].cells.is_empty());
+    for (jobs, run) in [2usize, 8].into_iter().zip(&runs[1..]) {
+        assert_eq!(runs[0].cells.len(), run.cells.len());
+        for (a, b) in runs[0].cells.iter().zip(&run.cells) {
+            assert_eq!(a, b, "cell diverged between --jobs 1 and --jobs {jobs}");
+        }
+    }
+}
+
+#[test]
+fn pool_is_reused_across_back_to_back_sweeps() {
+    let _g = pool_lock();
+    // Pin the ambient cap to the sweep's jobs value so the post-sweep cap
+    // restore is a no-op and worker counts are stable between runs.
+    let prev = settle_to(4);
+    let first =
+        SweepRunner::with_cache(small_config(Some(4)), Arc::new(SweepCache::default())).run();
+    let after_first = pool::worker_count();
+    assert!(
+        (1..=3).contains(&after_first),
+        "a --jobs 4 sweep must leave 1..=3 pool workers alive, saw {after_first}"
+    );
+    let second =
+        SweepRunner::with_cache(small_config(Some(4)), Arc::new(SweepCache::default())).run();
+    let after_second = pool::worker_count();
+    set_max_workers(prev);
+    assert_eq!(
+        after_first, after_second,
+        "second sweep must reuse the pool, not grow it"
+    );
+    assert_eq!(first.cells, second.cells);
+}
+
+#[test]
+fn set_max_workers_takes_effect_mid_process() {
+    let _g = pool_lock();
+    // Grow, observe, shrink, observe: the cap governs the live pool, not
+    // just future processes.
+    let prev = settle_to(5);
+    let _ = par_map(512, |i| i * 3);
+    let grown = pool::worker_count();
+    assert_eq!(grown, 4, "cap 5 must grow the pool to 4 helpers");
+    settle_to(2);
+    let shrunk = pool::worker_count();
+    set_max_workers(prev);
+    assert!(shrunk <= 1, "cap 2 leaves at most 1 helper, saw {shrunk}");
+}
+
+#[test]
+fn one_hundred_par_maps_do_not_leak_threads() {
+    let _g = pool_lock();
+    let prev = settle_to(4);
+    let _ = par_map(256, |i| i);
+    let baseline = pool::worker_count();
+    for round in 0..100 {
+        let v = par_map(256, move |i| i + round);
+        assert_eq!(v[255], 255 + round);
+    }
+    let after = pool::worker_count();
+    set_max_workers(prev);
+    assert_eq!(
+        baseline, after,
+        "thread count must be stable across 100 par_map calls"
+    );
+    assert!(after <= 3, "cap 4 means at most 3 helpers, saw {after}");
+}

@@ -31,13 +31,16 @@ fn jobs_1_and_jobs_n_sweeps_are_bit_identical() {
     // exercises real multi-thread schedules even on small CI machines.)
     let serial =
         SweepRunner::with_cache(small_config(Some(1)), Arc::new(SweepCache::default())).run();
-    let parallel =
-        SweepRunner::with_cache(small_config(Some(8)), Arc::new(SweepCache::default())).run();
-    assert_eq!(serial.cells.len(), parallel.cells.len());
-    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
-        // SweepCell's PartialEq compares every f64 exactly — bit-identity,
-        // not approximate agreement.
-        assert_eq!(a, b, "cell diverged between --jobs 1 and --jobs 8");
+    for jobs in [2, 8] {
+        let parallel =
+            SweepRunner::with_cache(small_config(Some(jobs)), Arc::new(SweepCache::default()))
+                .run();
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            // SweepCell's PartialEq compares every f64 exactly —
+            // bit-identity, not approximate agreement.
+            assert_eq!(a, b, "cell diverged between --jobs 1 and --jobs {jobs}");
+        }
     }
 }
 
