@@ -31,8 +31,8 @@ use cubie_analysis::quadrants::utilizations;
 use cubie_analysis::report;
 use cubie_device::{all_devices, b200, DeviceSpec, PEAK_EVOLUTION};
 use cubie_golden::{Artifact, Column, Json};
-use cubie_kernels::{Quadrant, Variant, Workload};
-use cubie_sim::{power_report, power_trace, Roofline};
+use cubie_kernels::{gemm, MmaGen, Precision, Quadrant, Variant, Workload};
+use cubie_sim::{power_report, power_trace, time_workload, Roofline};
 
 use crate::fig7_repeats;
 use crate::sweep::{Sweep, SweepConfig, SweepRunner};
@@ -144,6 +144,8 @@ pub const GOLDEN_ARTIFACTS: &[&str] = &[
     "observations",
     "ext_advisor_validation",
     "ext_future_fp64",
+    "ext_precision_sweep",
+    "ext_precision_mma",
 ];
 
 /// Build one golden artifact by name (`None` for unknown names).
@@ -168,6 +170,8 @@ pub fn build(ctx: &GoldenCtx, name: &str) -> Option<Artifact> {
         "observations" => observations(ctx.sweep(), ctx.errors()),
         "ext_advisor_validation" => ext_advisor(ctx.sweep()),
         "ext_future_fp64" => ext_future(ctx.sweep()),
+        "ext_precision_sweep" => ext_precision_sweep(),
+        "ext_precision_mma" => ext_precision_mma(),
         _ => return None,
     })
 }
@@ -1026,6 +1030,118 @@ pub fn ext_future(sweep: &Sweep) -> Artifact {
         .with_meta("case_idx", 2usize)
 }
 
+/// Extension: the mixed-precision GEMM axis — the analytic `mma.sync`
+/// warp-tile kernels (FP16/BF16 `m16n8k16`, TF32 `m16n8k8`, f32
+/// accumulate) timed on every device. MMA/FMA instruction counts are
+/// bit-exact; times and achieved throughput carry the usual epsilon;
+/// the limiting pipe is an ordinal claim. Independent of the FP64
+/// sweep, so recording it never touches the existing goldens.
+pub fn ext_precision_sweep() -> Artifact {
+    let mut a = Artifact::new(
+        "ext_precision_sweep",
+        vec![
+            Column::exact("precision").key(),
+            Column::exact("case").key(),
+            Column::exact("variant").key(),
+            Column::exact("device").key(),
+            Column::exact("mma"),
+            Column::exact("fma_f32"),
+            Column::eps("time_s", TIME_EPS),
+            Column::eps("tflops", TIME_EPS),
+            Column::ordinal("limiter"),
+        ],
+    );
+    for p in Precision::ALL.into_iter().filter(|p| *p != Precision::F64) {
+        for case in gemm::GemmCase::cases() {
+            for v in [Variant::Tc, Variant::Cc] {
+                let trace = gemm::trace_precision(&case, v, p);
+                let ops = trace.kernels[0].ops;
+                for d in all_devices() {
+                    let t = time_workload(&d, &trace);
+                    a.push(vec![
+                        p.label().into(),
+                        case.label().into(),
+                        v.label().into(),
+                        d.name.as_str().into(),
+                        (ops.mma_f16 + ops.mma_bf16 + ops.mma_tf32).into(),
+                        ops.fma_f32.into(),
+                        t.total_s.into(),
+                        (case.useful_flops() / t.total_s / 1e12).into(),
+                        format!("{:?}", t.kernels[0].limiter).into(),
+                    ]);
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Extension: **bit-exact** mixed-precision MMA numerics — one reduced
+/// GEMM per precision × tensor-core generation on pinned inputs. Probe
+/// elements' `f32` bit patterns and an FNV-1a digest of the whole output
+/// are exact columns, so a one-ulp change anywhere in the quantize →
+/// exact-product → per-generation-accumulate chain trips the golden
+/// check (the reduced-precision sibling of `table6_errors`). The TC and
+/// CC digests are recorded side by side: per Observation 7 they must be
+/// identical.
+pub fn ext_precision_mma() -> Artifact {
+    const PROBES: [usize; 6] = [0, 1, 7, 255, 256, 511];
+    let case = gemm::GemmCase {
+        m: 32,
+        n: 16,
+        k: 32,
+    };
+    let (ma, mb) = gemm::inputs(&case);
+    let mut columns = vec![
+        Column::exact("precision").key(),
+        Column::exact("gen").key(),
+        Column::exact("mma"),
+        Column::exact("tc_digest"),
+        Column::exact("cc_digest"),
+        Column::ordinal("tc_cc_identical"),
+    ];
+    columns.extend(PROBES.iter().map(|i| Column::exact(&format!("c{i}_bits"))));
+    let mut a = Artifact::new("ext_precision_mma", columns);
+    let fnv = |c: &[f32]| -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for v in c {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    };
+    for p in Precision::ALL.into_iter().filter(|p| *p != Precision::F64) {
+        for gen in [MmaGen::Volta, MmaGen::Ampere] {
+            let (tc, trace) = gemm::run_precision(&ma, &mb, Variant::Tc, p, gen);
+            let (cc, _) = gemm::run_precision(&ma, &mb, Variant::Cc, p, gen);
+            let ops = trace.kernels[0].ops;
+            let identical = tc.iter().zip(&cc).all(|(x, y)| x.to_bits() == y.to_bits());
+            let mut row: Vec<Json> = vec![
+                p.label().into(),
+                format!("{gen:?}").into(),
+                (ops.mma_f16 + ops.mma_bf16 + ops.mma_tf32).into(),
+                fnv(&tc).into(),
+                fnv(&cc).into(),
+                if identical {
+                    "tc_cc_bit_identical"
+                } else {
+                    "tc_cc_diverged"
+                }
+                .into(),
+            ];
+            row.extend(
+                PROBES
+                    .iter()
+                    .map(|&i| Json::from(u64::from(tc[i].to_bits()))),
+            );
+            a.push(row);
+        }
+    }
+    a.with_meta("case", case.label())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1089,6 +1205,45 @@ mod tests {
         assert_eq!(fig12().rows.len(), 3);
         assert_eq!(table5().rows.len(), 3);
         assert_eq!(table7().rows.len(), TABLE7.len() + TABLE7_FEATURES.len());
+    }
+
+    #[test]
+    fn precision_sweep_artifact_covers_the_mixed_grid() {
+        let a = ext_precision_sweep();
+        // 3 precisions × 5 cases × {TC, CC} × 3 devices.
+        assert_eq!(a.rows.len(), 3 * 5 * 2 * 3);
+        let (mma, fma) = (4, 5);
+        for row in &a.rows {
+            // Exactly one compute counter is populated per variant row.
+            let is_tc = row[2].as_str() == Some("TC");
+            assert_eq!(row[mma] != Json::Int(0), is_tc, "mma count vs variant");
+            assert_eq!(row[fma] == Json::Int(0), is_tc, "fma count vs variant");
+        }
+        let text = a.to_json().to_pretty_string();
+        let back = Artifact::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert!(cubie_golden::diff(&a, &back).passed());
+    }
+
+    #[test]
+    fn precision_mma_artifact_is_bit_stable_and_discriminates_gens() {
+        let a = ext_precision_mma();
+        let b = ext_precision_mma();
+        // 3 precisions × 2 generations, reproducible bit for bit.
+        assert_eq!(a.rows.len(), 6);
+        assert!(cubie_golden::diff(&a, &b).passed());
+        for row in &a.rows {
+            assert_eq!(row[5].as_str(), Some("tc_cc_bit_identical"));
+        }
+        // Volta (serial RZ+FTZ) and Ampere (fused RN) accumulation must
+        // produce different output digests for every precision.
+        for pair in a.rows.chunks(2) {
+            assert_eq!(pair[0][0], pair[1][0]);
+            assert_ne!(
+                pair[0][3], pair[1][3],
+                "gen digests equal for {:?}",
+                pair[0][0]
+            );
+        }
     }
 
     #[test]

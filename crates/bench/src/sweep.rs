@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use cubie_core::par::{par_map, set_max_workers};
 use cubie_device::{all_devices, DeviceSpec};
-use cubie_kernels::{prepare_cases, Variant, Workload};
+use cubie_kernels::{gemm, prepare_cases, Precision, Variant, Workload};
 use cubie_sim::{time_workload, WorkloadTiming, WorkloadTrace};
 
 /// Case-level cache key: workload at a generation scale.
@@ -145,6 +145,11 @@ pub struct SweepConfig {
     pub devices: Vec<DeviceSpec>,
     /// Restrict to these Table 2 case indices 0–4 (`None`: all five).
     pub cases: Option<Vec<usize>>,
+    /// Operand precisions to sweep (default: FP64 only — the paper's main
+    /// axis). Reduced precisions add GEMM-only TC/CC cells modelling the
+    /// `m16n8k16`/`m16n8k8` mixed-precision MMAs; the FP64 cells are
+    /// unaffected.
+    pub precisions: Vec<Precision>,
     /// Scale divisor for the Table 4 sparse matrices.
     pub sparse_scale: usize,
     /// Scale divisor for the Table 3 graphs.
@@ -162,6 +167,7 @@ impl Default for SweepConfig {
             variants: None,
             devices: all_devices(),
             cases: None,
+            precisions: vec![Precision::F64],
             sparse_scale: crate::sparse_scale(),
             graph_scale: crate::graph_scale(),
             jobs: crate::env_parse("CUBIE_JOBS"),
@@ -171,7 +177,7 @@ impl Default for SweepConfig {
 
 impl SweepConfig {
     /// Apply one `key=value[,value…]` filter term (`workload=`,
-    /// `variant=`, `device=`, `case=`).
+    /// `variant=`, `device=`, `case=`, `precision=`).
     pub fn apply_filter(&mut self, term: &str) -> Result<(), String> {
         let (key, vals) = term
             .split_once('=')
@@ -207,6 +213,22 @@ impl SweepConfig {
                     ds.push(dev.clone());
                 }
                 self.devices = ds;
+            }
+            "precision" | "p" => {
+                let mut ps = Vec::new();
+                for v in vals.split(',') {
+                    ps.push(
+                        Precision::parse(v).ok_or_else(|| {
+                            format!("unknown precision `{v}` (f64|f16|bf16|tf32)")
+                        })?,
+                    );
+                }
+                // Canonical f64 → f16 → bf16 → tf32 order regardless of
+                // filter order.
+                self.precisions = Precision::ALL
+                    .into_iter()
+                    .filter(|p| ps.contains(p))
+                    .collect();
             }
             "case" | "c" => {
                 let mut cs = Vec::new();
@@ -273,7 +295,8 @@ impl SweepConfig {
             Err(e) => {
                 eprintln!(
                     "{e}\n\nusage: [--filter workload=gemm,scan] [--filter variant=tc,cc] \
-                     [--filter device=h200] [--filter case=2] [--jobs N] \
+                     [--filter device=h200] [--filter case=2] \
+                     [--filter precision=f64,f16,bf16,tf32] [--jobs N] \
                      [--sparse-scale K] [--graph-scale K]"
                 );
                 std::process::exit(2);
@@ -314,6 +337,9 @@ pub struct SweepCell {
     pub case: String,
     /// Variant.
     pub variant: Variant,
+    /// Operand precision ([`Precision::F64`] for every paper-default
+    /// cell; reduced precisions appear only on GEMM TC/CC cells).
+    pub precision: Precision,
     /// Device name.
     pub device: String,
     /// Useful work of one execution (workload unit basis).
@@ -490,7 +516,8 @@ impl SweepRunner {
             cfg.workloads.iter().copied().zip(metas).collect();
 
         // Enumerate the cross-product in canonical order, keeping only
-        // cells whose variant the paper evaluates.
+        // cells whose variant the paper evaluates. FP64 is the paper's
+        // main axis; a `precision=` filter excluding it skips phase B.
         let mut keys: Vec<(Workload, usize, Variant, usize)> = Vec::new();
         let mut traces: HashMap<(Workload, usize, Variant), Arc<WorkloadTrace>> = HashMap::new();
         for &w in &cfg.workloads {
@@ -500,8 +527,10 @@ impl SweepRunner {
                         continue; // PiC baseline
                     };
                     traces.insert((w, ci, v), t);
-                    for di in 0..cfg.devices.len() {
-                        keys.push((w, ci, v, di));
+                    if cfg.precisions.contains(&Precision::F64) {
+                        for di in 0..cfg.devices.len() {
+                            keys.push((w, ci, v, di));
+                        }
                     }
                 }
             }
@@ -509,7 +538,7 @@ impl SweepRunner {
 
         // Phase B — timing, fanned out over cells. `par_map` collects in
         // index order, so `cells` is deterministic for any job count.
-        let cells = par_map(keys.len(), |i| {
+        let mut cells = par_map(keys.len(), |i| {
             let (w, ci, v, di) = keys[i];
             let device = &cfg.devices[di];
             let m = &meta[&w];
@@ -518,11 +547,56 @@ impl SweepRunner {
                 case_idx: ci,
                 case: m.labels[ci].clone(),
                 variant: v,
+                precision: Precision::F64,
                 device: device.name.clone(),
                 useful: m.useful[ci],
                 timing: time_workload(device, &traces[&(w, ci, v)]),
             }
         });
+
+        // Phase C — mixed-precision cells, appended after the FP64 block
+        // so default sweeps stay bit-identical. Reduced precisions exist
+        // for GEMM only (the quadrant the mixed-precision MMAs serve) in
+        // the TC and CC variants.
+        let mixed: Vec<Precision> = cfg
+            .precisions
+            .iter()
+            .copied()
+            .filter(|p| *p != Precision::F64)
+            .collect();
+        if !mixed.is_empty() && cfg.workloads.contains(&Workload::Gemm) {
+            let cases = gemm::GemmCase::cases();
+            let m = &meta[&Workload::Gemm];
+            let variants: Vec<Variant> = [Variant::Tc, Variant::Cc]
+                .into_iter()
+                .filter(|v| cfg.variants_of(Workload::Gemm).contains(v))
+                .collect();
+            let mut mkeys: Vec<(Precision, usize, Variant, usize)> = Vec::new();
+            for &p in &mixed {
+                for ci in cfg.case_indices(cases.len()) {
+                    for &v in &variants {
+                        for di in 0..cfg.devices.len() {
+                            mkeys.push((p, ci, v, di));
+                        }
+                    }
+                }
+            }
+            cells.extend(par_map(mkeys.len(), |i| {
+                let (p, ci, v, di) = mkeys[i];
+                let device = &cfg.devices[di];
+                let trace = gemm::trace_precision(&cases[ci], v, p);
+                SweepCell {
+                    workload: Workload::Gemm,
+                    case_idx: ci,
+                    case: m.labels[ci].clone(),
+                    variant: v,
+                    precision: p,
+                    device: device.name.clone(),
+                    useful: m.useful[ci],
+                    timing: time_workload(device, &trace),
+                }
+            }));
+        }
 
         if let Some(prev) = prev_jobs {
             set_max_workers(prev);
@@ -680,6 +754,88 @@ mod tests {
         assert_eq!(cfg.jobs, Some(3));
         assert_eq!(cfg.sparse_scale, 64);
         assert_eq!(cfg.graph_scale, 512);
+    }
+
+    #[test]
+    fn precision_filter_parses_and_orders() {
+        let mut cfg = SweepConfig::default();
+        assert_eq!(cfg.precisions, vec![Precision::F64]);
+        cfg.apply_filter("precision=tf32,f16").unwrap();
+        assert_eq!(cfg.precisions, vec![Precision::F16, Precision::Tf32]);
+        cfg.apply_filter("p=f64,bf16").unwrap();
+        assert_eq!(cfg.precisions, vec![Precision::F64, Precision::Bf16]);
+        assert!(cfg.apply_filter("precision=f8").is_err());
+    }
+
+    #[test]
+    fn default_sweep_cells_are_all_f64() {
+        let sweep = SweepRunner::with_cache(quick_config(), Arc::new(SweepCache::default())).run();
+        assert!(sweep.cells.iter().all(|c| c.precision == Precision::F64));
+    }
+
+    #[test]
+    fn mixed_precision_sweep_adds_gemm_cells() {
+        let mut cfg = SweepConfig {
+            workloads: vec![Workload::Gemm],
+            sparse_scale: 64,
+            graph_scale: 512,
+            ..SweepConfig::default()
+        };
+        cfg.apply_filter("precision=f16,tf32").unwrap();
+        cfg.apply_filter("case=0,1").unwrap();
+        cfg.apply_filter("device=h200").unwrap();
+        let sweep = SweepRunner::with_cache(cfg, Arc::new(SweepCache::default())).run();
+        // No f64 precision requested: 2 precisions × 2 cases × 2 variants
+        // (TC, CC) × 1 device, no FP64 block.
+        assert_eq!(sweep.cells.len(), 2 * 2 * 2);
+        assert!(sweep.cells.iter().all(|c| c.workload == Workload::Gemm
+            && c.precision != Precision::F64
+            && matches!(c.variant, Variant::Tc | Variant::Cc)));
+        // An f16 MMA cell must run faster than its CC replacement: the
+        // TC/CC peak gap at reduced precision is ~15×, not FP64's 2×.
+        let tc = sweep
+            .cells
+            .iter()
+            .find(|c| c.variant == Variant::Tc && c.precision == Precision::F16)
+            .unwrap();
+        let cc = sweep
+            .cells
+            .iter()
+            .find(|c| {
+                c.variant == Variant::Cc
+                    && c.precision == Precision::F16
+                    && c.case_idx == tc.case_idx
+            })
+            .unwrap();
+        assert!(tc.time_s() < cc.time_s(), "TC must beat its CC replacement");
+    }
+
+    #[test]
+    fn mixed_precision_block_appends_after_f64_block() {
+        let mut cfg = SweepConfig {
+            workloads: vec![Workload::Gemm],
+            sparse_scale: 64,
+            graph_scale: 512,
+            ..SweepConfig::default()
+        };
+        cfg.apply_filter("precision=f64,bf16").unwrap();
+        cfg.apply_filter("case=0").unwrap();
+        cfg.apply_filter("device=a100").unwrap();
+        let sweep = SweepRunner::with_cache(cfg, Arc::new(SweepCache::default())).run();
+        // FP64 block (TC, CC — quadrant I folds CC-E; Baseline too) then
+        // the bf16 block (TC, CC).
+        let split = sweep
+            .cells
+            .iter()
+            .position(|c| c.precision != Precision::F64)
+            .unwrap();
+        assert!(sweep.cells[..split]
+            .iter()
+            .all(|c| c.precision == Precision::F64));
+        assert!(sweep.cells[split..]
+            .iter()
+            .all(|c| c.precision == Precision::Bf16));
+        assert_eq!(sweep.cells.len() - split, 2);
     }
 
     #[test]

@@ -105,6 +105,20 @@ pub const MMA_F64_FMAS: u64 = 8 * 8 * 4;
 /// `m8n8k128` MMA instruction: 8 × 8 × 128 single-bit multiply-accumulates.
 pub const MMA_B1_BITOPS: u64 = 8 * 8 * 128;
 
+/// FLOPs performed by one FP16/BF16 `m16n8k16` MMA instruction
+/// (16 × 8 × 16 fused multiply-adds, two FLOPs each).
+pub const MMA_F16_FLOPS: u64 = 16 * 8 * 16 * 2;
+
+/// Fused multiply-adds performed by one FP16/BF16 `m16n8k16` MMA.
+pub const MMA_F16_FMAS: u64 = 16 * 8 * 16;
+
+/// FLOPs performed by one TF32 `m16n8k8` MMA instruction
+/// (16 × 8 × 8 fused multiply-adds, two FLOPs each).
+pub const MMA_TF32_FLOPS: u64 = 16 * 8 * 8 * 2;
+
+/// Fused multiply-adds performed by one TF32 `m16n8k8` MMA.
+pub const MMA_TF32_FMAS: u64 = 16 * 8 * 8;
+
 /// Counters for the operations a kernel issues.
 ///
 /// All floating-point counts are in *operations* (an FMA counts as one
@@ -115,8 +129,20 @@ pub struct OpCounters {
     pub mma_f64: u64,
     /// Single-bit `m8n8k128` tensor-core MMA instructions issued.
     pub mma_b1: u64,
+    /// FP16 `m16n8k16` tensor-core MMA instructions issued (f32
+    /// accumulate).
+    pub mma_f16: u64,
+    /// BF16 `m16n8k16` tensor-core MMA instructions issued (f32
+    /// accumulate).
+    pub mma_bf16: u64,
+    /// TF32 `m16n8k8` tensor-core MMA instructions issued (f32
+    /// accumulate).
+    pub mma_tf32: u64,
     /// CUDA-core FP64 fused multiply-adds.
     pub fma_f64: u64,
+    /// CUDA-core FP32 fused multiply-adds (the CC replacements of the
+    /// mixed-precision MMAs).
+    pub fma_f32: u64,
     /// CUDA-core FP64 additions/subtractions.
     pub add_f64: u64,
     /// CUDA-core FP64 multiplications.
@@ -160,6 +186,32 @@ impl OpCounters {
         self.fma_f64 * 2 + self.add_f64 + self.mul_f64 + self.special_f64
     }
 
+    /// FP16 (f32-accumulate) FLOPs executed on tensor cores.
+    pub const fn tc_f16_flops(&self) -> u64 {
+        self.mma_f16 * MMA_F16_FLOPS
+    }
+
+    /// BF16 (f32-accumulate) FLOPs executed on tensor cores.
+    pub const fn tc_bf16_flops(&self) -> u64 {
+        self.mma_bf16 * MMA_F16_FLOPS
+    }
+
+    /// TF32 (f32-accumulate) FLOPs executed on tensor cores.
+    pub const fn tc_tf32_flops(&self) -> u64 {
+        self.mma_tf32 * MMA_TF32_FLOPS
+    }
+
+    /// All mixed-precision tensor-core FLOPs (FP16 + BF16 + TF32).
+    pub const fn tc_mixed_flops(&self) -> u64 {
+        self.tc_f16_flops() + self.tc_bf16_flops() + self.tc_tf32_flops()
+    }
+
+    /// FP32 FLOPs executed on CUDA cores (FMA = 2 FLOPs) — the CC
+    /// replacements of the mixed-precision MMAs.
+    pub const fn cc_f32_flops(&self) -> u64 {
+        self.fma_f32 * 2
+    }
+
     /// Total FP64 FLOPs on either unit.
     pub const fn flops_f64(&self) -> u64 {
         self.tc_flops() + self.cc_flops()
@@ -194,11 +246,14 @@ impl OpCounters {
         }
     }
 
-    /// Every counter as an ordered `(name, value)` list, memory traffic
-    /// flattened by coalescing class. This is the canonical export the
-    /// golden-artifact layer serializes: the order is part of the
-    /// `cubie-golden/v1` schema for instruction/byte counters, so keep
-    /// it stable (append new counters at the end).
+    /// The FP64-era counters as an ordered `(name, value)` list, memory
+    /// traffic flattened by coalescing class. This is the canonical
+    /// export the golden-artifact layer serializes: **the 17-entry list
+    /// and its order are frozen into the `cubie-golden/v1` schema** (the
+    /// `trace_counters` snapshot's column set), so it must not change.
+    /// Counters added later (the mixed-precision MMA axis) are exported
+    /// separately via [`Self::mixed_named_counts`] and their own golden
+    /// artifact.
     pub fn named_counts(&self) -> [(&'static str, u64); 17] {
         [
             ("mma_f64", self.mma_f64),
@@ -221,12 +276,28 @@ impl OpCounters {
         ]
     }
 
+    /// The mixed-precision counters as an ordered `(name, value)` list —
+    /// the post-FP64 extension of [`Self::named_counts`], serialized by
+    /// the `ext_precision_*` golden artifacts.
+    pub fn mixed_named_counts(&self) -> [(&'static str, u64); 4] {
+        [
+            ("mma_f16", self.mma_f16),
+            ("mma_bf16", self.mma_bf16),
+            ("mma_tf32", self.mma_tf32),
+            ("fma_f32", self.fma_f32),
+        ]
+    }
+
     /// Scale every counter by an integer factor.
     pub const fn scaled(self, k: u64) -> Self {
         Self {
             mma_f64: self.mma_f64 * k,
             mma_b1: self.mma_b1 * k,
+            mma_f16: self.mma_f16 * k,
+            mma_bf16: self.mma_bf16 * k,
+            mma_tf32: self.mma_tf32 * k,
             fma_f64: self.fma_f64 * k,
+            fma_f32: self.fma_f32 * k,
             add_f64: self.add_f64 * k,
             mul_f64: self.mul_f64 * k,
             special_f64: self.special_f64 * k,
@@ -252,7 +323,11 @@ impl Add for OpCounters {
         Self {
             mma_f64: self.mma_f64 + rhs.mma_f64,
             mma_b1: self.mma_b1 + rhs.mma_b1,
+            mma_f16: self.mma_f16 + rhs.mma_f16,
+            mma_bf16: self.mma_bf16 + rhs.mma_bf16,
+            mma_tf32: self.mma_tf32 + rhs.mma_tf32,
             fma_f64: self.fma_f64 + rhs.fma_f64,
+            fma_f32: self.fma_f32 + rhs.fma_f32,
             add_f64: self.add_f64 + rhs.add_f64,
             mul_f64: self.mul_f64 + rhs.mul_f64,
             special_f64: self.special_f64 + rhs.special_f64,
@@ -288,6 +363,50 @@ mod tests {
         assert_eq!(MMA_F64_FLOPS, 512);
         assert_eq!(MMA_F64_FMAS, 256);
         assert_eq!(MMA_B1_BITOPS, 8192);
+        assert_eq!(MMA_F16_FLOPS, 4096);
+        assert_eq!(MMA_F16_FMAS, 2048);
+        assert_eq!(MMA_TF32_FLOPS, 2048);
+        assert_eq!(MMA_TF32_FMAS, 1024);
+    }
+
+    #[test]
+    fn mixed_flops_are_disjoint_from_fp64() {
+        let c = OpCounters {
+            mma_f64: 1,
+            mma_f16: 2,
+            mma_bf16: 3,
+            mma_tf32: 4,
+            fma_f32: 10,
+            ..Default::default()
+        };
+        assert_eq!(c.tc_flops(), 512);
+        assert_eq!(c.tc_f16_flops(), 8192);
+        assert_eq!(c.tc_bf16_flops(), 12288);
+        assert_eq!(c.tc_tf32_flops(), 8192);
+        assert_eq!(c.tc_mixed_flops(), 28672);
+        assert_eq!(c.cc_f32_flops(), 20);
+        // FP64 totals are untouched by the mixed axis.
+        assert_eq!(c.flops_f64(), 512);
+    }
+
+    #[test]
+    fn named_counts_schema_is_frozen_and_mixed_extends_it() {
+        // The 17-name list (and order) is part of cubie-golden/v1.
+        let names: Vec<&str> = OpCounters::default()
+            .named_counts()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(names.len(), 17);
+        assert_eq!(names[0], "mma_f64");
+        assert_eq!(names[16], "syncs");
+        assert!(!names.contains(&"mma_f16"), "mixed counters must stay out");
+        let mixed: Vec<&str> = OpCounters::default()
+            .mixed_named_counts()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(mixed, ["mma_f16", "mma_bf16", "mma_tf32", "fma_f32"]);
     }
 
     #[test]

@@ -19,6 +19,25 @@
 //!   `A[t / 4][32 * (t % 4) .. 32 * (t % 4) + 32]`.
 //! * `B` is 128×8 bits, column major, chunked the same way.
 //! * `C`/`D` are 8×8 `u32` with the FP64 accumulator layout above.
+//!
+//! ## Mixed-precision `mma.m16n8k16` (f16 / bf16) and `mma.m16n8k8` (tf32)
+//!
+//! PTX groups the warp into eight *groups* of four lanes
+//! (`groupID = lane / 4`, `tid = lane % 4`). For `m16n8k16`:
+//!
+//! * `A` is 16×16: lane holds eight elements at rows `groupID` /
+//!   `groupID + 8` and columns `2·tid`, `2·tid + 1`, `2·tid + 8`,
+//!   `2·tid + 9` ([`a_m16n8k16_coords`]).
+//! * `B` is 16×8: four elements at rows `2·tid`, `2·tid + 1`,
+//!   `2·tid + 8`, `2·tid + 9`, column `groupID` ([`b_m16n8k16_coords`]).
+//! * `C`/`D` are 16×8 `f32`: four elements at rows `groupID`,
+//!   `groupID + 8` and columns `2·tid`, `2·tid + 1`
+//!   ([`c_m16n8k16_coords`]).
+//!
+//! The TF32 `m16n8k8` shape halves the `k` extent: `A` is 16×8 with four
+//! elements per lane ([`a_m16n8k8_coords`]), `B` is 8×8 with two
+//! ([`b_m16n8k8_coords`]), and the accumulator layout is identical to
+//! `m16n8k16`.
 
 use crate::WARP_SIZE;
 
@@ -97,6 +116,176 @@ pub fn a_b1_coords(lane: usize) -> (usize, usize) {
     (lane / 4, lane % 4)
 }
 
+/// Unpack an `A` fragment back into the row-major 8×4 matrix
+/// (inverse of [`pack_a_f64`]).
+pub fn unpack_a_f64(frag: &[f64; 32]) -> [f64; 32] {
+    let mut a = [0.0; 32];
+    for (lane, &v) in frag.iter().enumerate() {
+        let (r, c) = a_f64_coords(lane);
+        a[r * 4 + c] = v;
+    }
+    a
+}
+
+/// Unpack a `B` fragment back into the row-major 4×8 matrix
+/// (inverse of [`pack_b_f64`]).
+pub fn unpack_b_f64(frag: &[f64; 32]) -> [f64; 32] {
+    let mut b = [0.0; 32];
+    for (lane, &v) in frag.iter().enumerate() {
+        let (r, c) = b_f64_coords(lane);
+        b[r * 8 + c] = v;
+    }
+    b
+}
+
+/// Rows and columns of the eight `A`-fragment elements (16×16 operand)
+/// held by `lane` for `mma.m16n8k16` (PTX register order `a0..a7`).
+#[inline]
+pub fn a_m16n8k16_coords(lane: usize) -> [(usize, usize); 8] {
+    debug_assert!(lane < WARP_SIZE);
+    let (g, t) = (lane / 4, lane % 4);
+    [
+        (g, 2 * t),
+        (g, 2 * t + 1),
+        (g + 8, 2 * t),
+        (g + 8, 2 * t + 1),
+        (g, 2 * t + 8),
+        (g, 2 * t + 9),
+        (g + 8, 2 * t + 8),
+        (g + 8, 2 * t + 9),
+    ]
+}
+
+/// Rows and columns of the four `B`-fragment elements (16×8 operand)
+/// held by `lane` for `mma.m16n8k16` (PTX register order `b0..b3`).
+#[inline]
+pub fn b_m16n8k16_coords(lane: usize) -> [(usize, usize); 4] {
+    debug_assert!(lane < WARP_SIZE);
+    let (g, t) = (lane / 4, lane % 4);
+    [(2 * t, g), (2 * t + 1, g), (2 * t + 8, g), (2 * t + 9, g)]
+}
+
+/// Rows and columns of the four `f32` accumulator elements (16×8) held
+/// by `lane` for `mma.m16n8k16` and `mma.m16n8k8` (the layouts match).
+#[inline]
+pub fn c_m16n8k16_coords(lane: usize) -> [(usize, usize); 4] {
+    debug_assert!(lane < WARP_SIZE);
+    let (g, t) = (lane / 4, lane % 4);
+    [
+        (g, 2 * t),
+        (g, 2 * t + 1),
+        (g + 8, 2 * t),
+        (g + 8, 2 * t + 1),
+    ]
+}
+
+/// Rows and columns of the four `A`-fragment elements (16×8 operand)
+/// held by `lane` for the TF32 `mma.m16n8k8`.
+#[inline]
+pub fn a_m16n8k8_coords(lane: usize) -> [(usize, usize); 4] {
+    debug_assert!(lane < WARP_SIZE);
+    let (g, t) = (lane / 4, lane % 4);
+    [(g, t), (g + 8, t), (g, t + 4), (g + 8, t + 4)]
+}
+
+/// Rows and columns of the two `B`-fragment elements (8×8 operand) held
+/// by `lane` for the TF32 `mma.m16n8k8`.
+#[inline]
+pub fn b_m16n8k8_coords(lane: usize) -> [(usize, usize); 2] {
+    debug_assert!(lane < WARP_SIZE);
+    let (g, t) = (lane / 4, lane % 4);
+    [(t, g), (t + 4, g)]
+}
+
+/// Pack a row-major `ROWS×COLS` matrix into per-lane fragments given the
+/// lane-coordinate mapping — shared machinery of every mixed-precision
+/// pack function. `E` elements per lane over 32 lanes must tile the
+/// matrix exactly.
+fn pack_by_coords<T: Copy, const E: usize, const N: usize>(
+    m: &[T; N],
+    cols: usize,
+    coords: impl Fn(usize) -> [(usize, usize); E],
+) -> [[T; E]; 32] {
+    debug_assert_eq!(E * WARP_SIZE, N);
+    let mut frag = [[m[0]; E]; 32];
+    for (lane, slot) in frag.iter_mut().enumerate() {
+        for (i, (r, c)) in coords(lane).into_iter().enumerate() {
+            slot[i] = m[r * cols + c];
+        }
+    }
+    frag
+}
+
+/// Inverse of [`pack_by_coords`].
+fn unpack_by_coords<T: Copy, const E: usize, const N: usize>(
+    frag: &[[T; E]; 32],
+    cols: usize,
+    coords: impl Fn(usize) -> [(usize, usize); E],
+) -> [T; N] {
+    debug_assert_eq!(E * WARP_SIZE, N);
+    let mut m = [frag[0][0]; N];
+    for (lane, slot) in frag.iter().enumerate() {
+        for (i, (r, c)) in coords(lane).into_iter().enumerate() {
+            m[r * cols + c] = slot[i];
+        }
+    }
+    m
+}
+
+/// Pack a row-major 16×16 `A` operand into `m16n8k16` fragments
+/// (`frag[lane][i]` = PTX register `a<i>` of that lane). Generic over the
+/// element type so the same layout serves f16 and bf16 operands.
+pub fn pack_a_m16n8k16<T: Copy>(a: &[T; 256]) -> [[T; 8]; 32] {
+    pack_by_coords(a, 16, a_m16n8k16_coords)
+}
+
+/// Unpack `m16n8k16` `A` fragments back into the row-major 16×16 matrix.
+pub fn unpack_a_m16n8k16<T: Copy>(frag: &[[T; 8]; 32]) -> [T; 256] {
+    unpack_by_coords(frag, 16, a_m16n8k16_coords)
+}
+
+/// Pack a row-major 16×8 `B` operand into `m16n8k16` fragments.
+pub fn pack_b_m16n8k16<T: Copy>(b: &[T; 128]) -> [[T; 4]; 32] {
+    pack_by_coords(b, 8, b_m16n8k16_coords)
+}
+
+/// Unpack `m16n8k16` `B` fragments back into the row-major 16×8 matrix.
+pub fn unpack_b_m16n8k16<T: Copy>(frag: &[[T; 4]; 32]) -> [T; 128] {
+    unpack_by_coords(frag, 8, b_m16n8k16_coords)
+}
+
+/// Pack a row-major 16×8 `f32` accumulator into `m16n8k16`/`m16n8k8`
+/// fragments.
+pub fn pack_c_m16n8k16(c: &[f32; 128]) -> [[f32; 4]; 32] {
+    pack_by_coords(c, 8, c_m16n8k16_coords)
+}
+
+/// Unpack `m16n8k16`/`m16n8k8` accumulator fragments back into the
+/// row-major 16×8 matrix.
+pub fn unpack_c_m16n8k16(frag: &[[f32; 4]; 32]) -> [f32; 128] {
+    unpack_by_coords(frag, 8, c_m16n8k16_coords)
+}
+
+/// Pack a row-major 16×8 TF32 `A` operand into `m16n8k8` fragments.
+pub fn pack_a_m16n8k8<T: Copy>(a: &[T; 128]) -> [[T; 4]; 32] {
+    pack_by_coords(a, 8, a_m16n8k8_coords)
+}
+
+/// Unpack `m16n8k8` `A` fragments back into the row-major 16×8 matrix.
+pub fn unpack_a_m16n8k8<T: Copy>(frag: &[[T; 4]; 32]) -> [T; 128] {
+    unpack_by_coords(frag, 8, a_m16n8k8_coords)
+}
+
+/// Pack a row-major 8×8 TF32 `B` operand into `m16n8k8` fragments.
+pub fn pack_b_m16n8k8<T: Copy>(b: &[T; 64]) -> [[T; 2]; 32] {
+    pack_by_coords(b, 8, b_m16n8k8_coords)
+}
+
+/// Unpack `m16n8k8` `B` fragments back into the row-major 8×8 matrix.
+pub fn unpack_b_m16n8k8<T: Copy>(frag: &[[T; 2]; 32]) -> [T; 64] {
+    unpack_by_coords(frag, 8, b_m16n8k8_coords)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +353,75 @@ mod tests {
         assert_eq!(frag[5], 5.0);
         // lane 31 owns A[7][3] = index 31.
         assert_eq!(frag[31], 31.0);
+    }
+
+    /// Each mapping must enumerate every element of its matrix exactly
+    /// once across the 32 lanes (lane-coordinate bijectivity).
+    fn assert_bijective<const E: usize>(
+        coords: impl Fn(usize) -> [(usize, usize); E],
+        rows: usize,
+        cols: usize,
+    ) {
+        let mut seen = HashSet::new();
+        for lane in 0..WARP_SIZE {
+            for rc in coords(lane) {
+                assert!(rc.0 < rows && rc.1 < cols, "{rc:?} out of {rows}x{cols}");
+                assert!(seen.insert(rc), "duplicate element {rc:?}");
+            }
+        }
+        assert_eq!(seen.len(), rows * cols);
+    }
+
+    #[test]
+    fn m16n8k16_mappings_are_bijective() {
+        assert_bijective(a_m16n8k16_coords, 16, 16);
+        assert_bijective(b_m16n8k16_coords, 16, 8);
+        assert_bijective(c_m16n8k16_coords, 16, 8);
+    }
+
+    #[test]
+    fn m16n8k8_mappings_are_bijective() {
+        assert_bijective(a_m16n8k8_coords, 16, 8);
+        assert_bijective(b_m16n8k8_coords, 8, 8);
+    }
+
+    #[test]
+    fn m16n8k16_matches_ptx_worked_example() {
+        // PTX ISA: lane 5 is group 1, tid 1 → a0 = A[1][2], a2 = A[9][2],
+        // a5 = A[1][11]; b0 = B[2][1], b3 = B[11][1]; c3 = C[9][3].
+        let a = a_m16n8k16_coords(5);
+        assert_eq!(a[0], (1, 2));
+        assert_eq!(a[2], (9, 2));
+        assert_eq!(a[5], (1, 11));
+        let b = b_m16n8k16_coords(5);
+        assert_eq!(b[0], (2, 1));
+        assert_eq!(b[3], (11, 1));
+        assert_eq!(c_m16n8k16_coords(5)[3], (9, 3));
+        // TF32 m16n8k8: lane 5 → a1 = A[9][1], b1 = B[5][1].
+        assert_eq!(a_m16n8k8_coords(5)[1], (9, 1));
+        assert_eq!(b_m16n8k8_coords(5)[1], (5, 1));
+    }
+
+    #[test]
+    fn mixed_pack_unpack_roundtrip() {
+        let a: [u32; 256] = std::array::from_fn(|i| i as u32);
+        assert_eq!(unpack_a_m16n8k16(&pack_a_m16n8k16(&a)), a);
+        let b: [u32; 128] = std::array::from_fn(|i| i as u32 + 1000);
+        assert_eq!(unpack_b_m16n8k16(&pack_b_m16n8k16(&b)), b);
+        let c: [f32; 128] = std::array::from_fn(|i| i as f32 - 7.5);
+        assert_eq!(unpack_c_m16n8k16(&pack_c_m16n8k16(&c)), c);
+        let a8: [u32; 128] = std::array::from_fn(|i| i as u32 * 3);
+        assert_eq!(unpack_a_m16n8k8(&pack_a_m16n8k8(&a8)), a8);
+        let b8: [u32; 64] = std::array::from_fn(|i| i as u32 ^ 0x55);
+        assert_eq!(unpack_b_m16n8k8(&pack_b_m16n8k8(&b8)), b8);
+    }
+
+    #[test]
+    fn f64_operand_pack_unpack_roundtrip() {
+        let a: [f64; 32] = std::array::from_fn(|i| i as f64 * 1.25);
+        assert_eq!(unpack_a_f64(&pack_a_f64(&a)), a);
+        let b: [f64; 32] = std::array::from_fn(|i| i as f64 - 16.0);
+        assert_eq!(unpack_b_f64(&pack_b_f64(&b)), b);
     }
 
     #[test]

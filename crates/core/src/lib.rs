@@ -17,6 +17,10 @@
 //! * [`counters`] — operation counters recorded during functional kernel
 //!   execution and produced by analytic kernel traces; these drive the
 //!   timing, power, and roofline models in `cubie-sim`.
+//! * [`scalar`] — mixed-precision scalar formats (FP16 / BF16 / TF32),
+//!   bit-accurate RN/RZ rounding helpers, and the per-generation
+//!   accumulation semantics ([`scalar::MmaGen`]) the reduced-precision
+//!   MMA models reproduce.
 //! * [`rng`] — the Lehmer linear congruential generator the paper borrows
 //!   from LINPACK for pseudo-random input initialization in `(-2, 2)`.
 //! * [`complex`] — minimal complex arithmetic for the FFT workload.
@@ -38,12 +42,14 @@ pub mod mma;
 pub mod par;
 pub mod pool;
 pub mod rng;
+pub mod scalar;
 
 pub use complex::C64;
 pub use counters::{MemTraffic, OpCounters};
 pub use error::ErrorStats;
 pub use matrix::DenseMatrix;
 pub use rng::{LcgF64, SplitMix64};
+pub use scalar::{Bf16, MmaGen, Precision, Tf32, F16};
 
 /// Number of threads in a warp — the cooperative execution group that owns
 /// MMA fragments.

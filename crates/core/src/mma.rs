@@ -14,7 +14,8 @@
 
 use std::sync::OnceLock;
 
-use crate::counters::{OpCounters, MMA_F64_FMAS};
+use crate::counters::{OpCounters, MMA_F16_FMAS, MMA_F64_FMAS, MMA_TF32_FMAS};
+use crate::scalar::{Bf16, MmaGen, Precision, Tf32, F16};
 
 /// Fault-injection switch for the golden-regression harness: when the
 /// process environment sets `CUBIE_MMA_PERTURB_ULP` (to anything but
@@ -45,6 +46,28 @@ pub fn flip_last_ulp(v: f64) -> f64 {
 fn perturb(v: f64) -> f64 {
     if perturb_enabled() {
         flip_last_ulp(v)
+    } else {
+        v
+    }
+}
+
+/// `f32` analog of [`flip_last_ulp`]: flip the last mantissa bit of a
+/// finite single-precision value. The mixed-precision accumulation chains
+/// produce `f32` results, so their fault-injection hook must perturb at
+/// the `f32` ulp (an `f64`-level flip would vanish in the conversion).
+#[inline]
+pub fn flip_last_ulp_f32(v: f32) -> f32 {
+    if v.is_finite() {
+        f32::from_bits(v.to_bits() ^ 1)
+    } else {
+        v
+    }
+}
+
+#[inline]
+fn perturb_f32(v: f32) -> f32 {
+    if perturb_enabled() {
+        flip_last_ulp_f32(v)
     } else {
         v
     }
@@ -328,6 +351,207 @@ fn mma_tiled_f64_aligned(
     }
 }
 
+/// The arithmetic core shared by every mixed-precision MMA entry point:
+/// `c (m×n, f32) += a (m×k) · b (k×n)` where `a`/`b` hold operand values
+/// **already quantized** to the operand format (exact `f64`
+/// representations — see [`Precision::quantize`]). Products are exact;
+/// accumulation folds each ascending `k = 4` slice with the generation's
+/// published semantics ([`MmaGen::dot4_f32`]); [`perturb_f32`] applies
+/// once per element chain. `k` must be a multiple of 4.
+fn mma_mixed_core(a: &[f64], b: &[f64], c: &mut [f32], m: usize, n: usize, k: usize, gen: MmaGen) {
+    debug_assert!(k.is_multiple_of(4));
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for k0 in (0..k).step_by(4) {
+                let prods: [f64; 4] =
+                    std::array::from_fn(|kk| a[i * k + k0 + kk] * b[(k0 + kk) * n + j]);
+                acc = gen.dot4_f32(acc, &prods);
+            }
+            c[i * n + j] = perturb_f32(acc);
+        }
+    }
+}
+
+/// One FP16 `m16n8k16` MMA on row-major matrices:
+/// `c (16×8, f32) += a (16×16, f16) · b (16×8, f16)`, with exact operand
+/// products and the per-generation accumulation semantics of `gen`
+/// (fused five-term RN dots on Ampere+, serial RZ+FTZ on Volta).
+/// Increments `counters.mma_f16`.
+pub fn mma_f16_m16n8k16(
+    a: &[F16; 256],
+    b: &[F16; 128],
+    c: &mut [f32; 128],
+    gen: MmaGen,
+    counters: &mut OpCounters,
+) {
+    let av = a.map(F16::to_f64);
+    let bv = b.map(F16::to_f64);
+    mma_mixed_core(&av, &bv, c, 16, 8, 16, gen);
+    counters.mma_f16 += 1;
+}
+
+/// CUDA-core replacement of [`mma_f16_m16n8k16`]: identical numerics
+/// issued as 2048 single-precision FMAs plus operand shuffles
+/// (lane-exchange data movement the tensor core performs internally).
+pub fn cc_mma_f16_m16n8k16(
+    a: &[F16; 256],
+    b: &[F16; 128],
+    c: &mut [f32; 128],
+    gen: MmaGen,
+    counters: &mut OpCounters,
+) {
+    let av = a.map(F16::to_f64);
+    let bv = b.map(F16::to_f64);
+    mma_mixed_core(&av, &bv, c, 16, 8, 16, gen);
+    counters.fma_f32 += MMA_F16_FMAS;
+    counters.int_ops += MMA_F16_FMAS; // operand shuffles
+}
+
+/// One BF16 `m16n8k16` MMA (same shape and accumulation semantics as
+/// [`mma_f16_m16n8k16`], bfloat16 operands). Increments
+/// `counters.mma_bf16`.
+pub fn mma_bf16_m16n8k16(
+    a: &[Bf16; 256],
+    b: &[Bf16; 128],
+    c: &mut [f32; 128],
+    gen: MmaGen,
+    counters: &mut OpCounters,
+) {
+    let av = a.map(Bf16::to_f64);
+    let bv = b.map(Bf16::to_f64);
+    mma_mixed_core(&av, &bv, c, 16, 8, 16, gen);
+    counters.mma_bf16 += 1;
+}
+
+/// CUDA-core replacement of [`mma_bf16_m16n8k16`].
+pub fn cc_mma_bf16_m16n8k16(
+    a: &[Bf16; 256],
+    b: &[Bf16; 128],
+    c: &mut [f32; 128],
+    gen: MmaGen,
+    counters: &mut OpCounters,
+) {
+    let av = a.map(Bf16::to_f64);
+    let bv = b.map(Bf16::to_f64);
+    mma_mixed_core(&av, &bv, c, 16, 8, 16, gen);
+    counters.fma_f32 += MMA_F16_FMAS;
+    counters.int_ops += MMA_F16_FMAS; // operand shuffles
+}
+
+/// One TF32 `m16n8k8` MMA on row-major matrices:
+/// `c (16×8, f32) += a (16×8, tf32) · b (8×8, tf32)` — the half-`k`
+/// shape real TF32 units expose. Increments `counters.mma_tf32`.
+pub fn mma_tf32_m16n8k8(
+    a: &[Tf32; 128],
+    b: &[Tf32; 64],
+    c: &mut [f32; 128],
+    gen: MmaGen,
+    counters: &mut OpCounters,
+) {
+    let av = a.map(Tf32::to_f64);
+    let bv = b.map(Tf32::to_f64);
+    mma_mixed_core(&av, &bv, c, 16, 8, 8, gen);
+    counters.mma_tf32 += 1;
+}
+
+/// CUDA-core replacement of [`mma_tf32_m16n8k8`] (1024 f32 FMAs plus
+/// operand shuffles).
+pub fn cc_mma_tf32_m16n8k8(
+    a: &[Tf32; 128],
+    b: &[Tf32; 64],
+    c: &mut [f32; 128],
+    gen: MmaGen,
+    counters: &mut OpCounters,
+) {
+    let av = a.map(Tf32::to_f64);
+    let bv = b.map(Tf32::to_f64);
+    mma_mixed_core(&av, &bv, c, 16, 8, 8, gen);
+    counters.fma_f32 += MMA_TF32_FMAS;
+    counters.int_ops += MMA_TF32_FMAS; // operand shuffles
+}
+
+/// Multiply an `M×K` by a `K×N` row-major matrix through tiled
+/// mixed-precision MMAs, zero-padding ragged edges — the reduced-precision
+/// sibling of [`mma_tiled_f64`]. `a` and `b` hold values **already
+/// quantized** to `precision` (see [`Precision::quantize`]); `c` is the
+/// `f32` accumulator. With `cc = false` the work is counted as tensor-core
+/// MMA instructions, with `cc = true` as the CUDA-core replacement
+/// (bit-identical numerics either way, per Observation 7).
+///
+/// # Panics
+///
+/// Panics if `precision` is [`Precision::F64`] (use [`mma_tiled_f64`]).
+#[allow(clippy::too_many_arguments)] // mirrors mma_tiled_f64 plus the precision axis
+pub fn mma_tiled_mixed(
+    precision: Precision,
+    gen: MmaGen,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    cc: bool,
+    counters: &mut OpCounters,
+) {
+    assert_eq!(a.len(), m * k, "A must be M×K");
+    assert_eq!(b.len(), k * n, "B must be K×N");
+    assert_eq!(c.len(), m * n, "C must be M×N");
+    let kt = match precision {
+        Precision::F64 => panic!("mma_tiled_mixed models reduced precisions; use mma_tiled_f64"),
+        Precision::F16 | Precision::Bf16 => 16,
+        Precision::Tf32 => 8,
+    };
+    let mut at = vec![0.0f64; 16 * kt];
+    let mut bt = vec![0.0f64; kt * 8];
+    let mut ct = [0.0f32; 128];
+    for i0 in (0..m).step_by(16) {
+        for j0 in (0..n).step_by(8) {
+            ct.fill(0.0);
+            for ii in 0..16usize.min(m - i0) {
+                for jj in 0..8usize.min(n - j0) {
+                    ct[ii * 8 + jj] = c[(i0 + ii) * n + (j0 + jj)];
+                }
+            }
+            for k0 in (0..k).step_by(kt) {
+                at.fill(0.0);
+                bt.fill(0.0);
+                for ii in 0..16usize.min(m - i0) {
+                    for kk in 0..kt.min(k - k0) {
+                        at[ii * kt + kk] = a[(i0 + ii) * k + (k0 + kk)];
+                    }
+                }
+                for kk in 0..kt.min(k - k0) {
+                    for jj in 0..8usize.min(n - j0) {
+                        bt[kk * 8 + jj] = b[(k0 + kk) * n + (j0 + jj)];
+                    }
+                }
+                mma_mixed_core(&at, &bt, &mut ct, 16, 8, kt, gen);
+                match (precision, cc) {
+                    (Precision::F16, false) => counters.mma_f16 += 1,
+                    (Precision::Bf16, false) => counters.mma_bf16 += 1,
+                    (Precision::Tf32, false) => counters.mma_tf32 += 1,
+                    (Precision::Tf32, true) => {
+                        counters.fma_f32 += MMA_TF32_FMAS;
+                        counters.int_ops += MMA_TF32_FMAS;
+                    }
+                    (_, true) => {
+                        counters.fma_f32 += MMA_F16_FMAS;
+                        counters.int_ops += MMA_F16_FMAS;
+                    }
+                    (Precision::F64, _) => unreachable!(),
+                }
+            }
+            for ii in 0..16usize.min(m - i0) {
+                for jj in 0..8usize.min(n - j0) {
+                    c[(i0 + ii) * n + (j0 + jj)] = ct[ii * 8 + jj];
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +638,54 @@ mod tests {
             assert!(((f - v) / v).abs() < 1e-15, "flip moved more than ~1 ulp");
         }
         assert_eq!(flip_last_ulp(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn ulp_flip_edge_cases() {
+        // ±0 flips to the smallest subnormal of matching sign (bit 0 set).
+        assert_eq!(flip_last_ulp(0.0).to_bits(), 1);
+        assert_eq!(flip_last_ulp(-0.0).to_bits(), (1u64 << 63) | 1);
+        // The smallest subnormal flips back to (+)zero — involutive.
+        let tiny = f64::from_bits(1);
+        assert_eq!(flip_last_ulp(tiny), 0.0);
+        assert_eq!(flip_last_ulp(flip_last_ulp(tiny)).to_bits(), tiny.to_bits());
+        // Interior subnormals stay subnormal and move exactly one step.
+        let sub = f64::from_bits(0x000f_ffff_ffff_fffe);
+        assert!(sub.is_subnormal());
+        assert_eq!(flip_last_ulp(sub).to_bits(), sub.to_bits() | 1);
+        // MAX flips *down* one ulp (mantissa all-ones), staying finite.
+        let m = flip_last_ulp(f64::MAX);
+        assert!(m.is_finite() && m < f64::MAX);
+        assert_eq!(flip_last_ulp(m), f64::MAX);
+        // Infinities pass through untouched.
+        assert_eq!(flip_last_ulp(f64::INFINITY), f64::INFINITY);
+        assert_eq!(flip_last_ulp(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        // NaNs pass through with their payload bits intact.
+        let payload_nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        assert_eq!(flip_last_ulp(payload_nan).to_bits(), payload_nan.to_bits());
+    }
+
+    #[test]
+    fn ulp_flip_f32_edge_cases() {
+        assert_eq!(flip_last_ulp_f32(0.0).to_bits(), 1);
+        assert_eq!(flip_last_ulp_f32(-0.0).to_bits(), (1u32 << 31) | 1);
+        let tiny = f32::from_bits(1);
+        assert_eq!(flip_last_ulp_f32(tiny), 0.0);
+        let m = flip_last_ulp_f32(f32::MAX);
+        assert!(m.is_finite() && m < f32::MAX);
+        assert_eq!(flip_last_ulp_f32(m), f32::MAX);
+        assert_eq!(flip_last_ulp_f32(f32::INFINITY), f32::INFINITY);
+        let payload_nan = f32::from_bits(0x7fc0_0042);
+        assert_eq!(
+            flip_last_ulp_f32(payload_nan).to_bits(),
+            payload_nan.to_bits()
+        );
+        // One-ulp magnitude on ordinary values, involutive.
+        for v in [1.0f32, -2.5, 3.119e-13, 1e38] {
+            let f = flip_last_ulp_f32(v);
+            assert_eq!(f.to_bits() ^ 1, v.to_bits());
+            assert_eq!(flip_last_ulp_f32(f).to_bits(), v.to_bits());
+        }
     }
 
     #[test]
@@ -613,6 +885,198 @@ mod tests {
         let mut ctr = OpCounters::new();
         mma_tiled_f64(&a, &b, &mut c, m, n, k, &mut ctr);
         assert!(c.iter().all(|&v| (v - 14.0).abs() < 1e-15));
+    }
+}
+
+#[cfg(test)]
+mod tests_mixed {
+    use super::*;
+    use crate::rng::LcgF64;
+
+    fn quantized(seed: u64, n: usize, p: Precision) -> Vec<f64> {
+        let mut g = LcgF64::new(seed);
+        (0..n).map(|_| p.quantize(g.next_f64())).collect()
+    }
+
+    #[test]
+    fn mixed_cc_is_bit_identical_to_tc() {
+        // Observation 7 extends to every reduced precision: the CC
+        // replacement reproduces the TC chain bit-for-bit, on both
+        // generations' semantics.
+        for gen in [MmaGen::Volta, MmaGen::Ampere] {
+            let a: [F16; 256] = std::array::from_fn({
+                let v = quantized(11, 256, Precision::F16);
+                move |i| F16::from_f64_rn(v[i])
+            });
+            let b: [F16; 128] = std::array::from_fn({
+                let v = quantized(12, 128, Precision::F16);
+                move |i| F16::from_f64_rn(v[i])
+            });
+            let mut c_tc = [0.5f32; 128];
+            let mut c_cc = [0.5f32; 128];
+            let mut k1 = OpCounters::new();
+            let mut k2 = OpCounters::new();
+            mma_f16_m16n8k16(&a, &b, &mut c_tc, gen, &mut k1);
+            cc_mma_f16_m16n8k16(&a, &b, &mut c_cc, gen, &mut k2);
+            assert_eq!(c_tc.map(f32::to_bits), c_cc.map(f32::to_bits));
+            assert_eq!(k1.mma_f16, 1);
+            assert_eq!(k2.fma_f32, MMA_F16_FMAS);
+            assert_eq!(k1.tc_f16_flops(), k2.cc_f32_flops());
+
+            let ab: [Bf16; 256] = std::array::from_fn({
+                let v = quantized(13, 256, Precision::Bf16);
+                move |i| Bf16::from_f64_rn(v[i])
+            });
+            let bb: [Bf16; 128] = std::array::from_fn({
+                let v = quantized(14, 128, Precision::Bf16);
+                move |i| Bf16::from_f64_rn(v[i])
+            });
+            let mut c_tc = [0.0f32; 128];
+            let mut c_cc = [0.0f32; 128];
+            let mut k3 = OpCounters::new();
+            let mut k4 = OpCounters::new();
+            mma_bf16_m16n8k16(&ab, &bb, &mut c_tc, gen, &mut k3);
+            cc_mma_bf16_m16n8k16(&ab, &bb, &mut c_cc, gen, &mut k4);
+            assert_eq!(c_tc.map(f32::to_bits), c_cc.map(f32::to_bits));
+            assert_eq!(k3.mma_bf16, 1);
+
+            let at: [Tf32; 128] = std::array::from_fn({
+                let v = quantized(15, 128, Precision::Tf32);
+                move |i| Tf32::from_f64_rn(v[i])
+            });
+            let bt: [Tf32; 64] = std::array::from_fn({
+                let v = quantized(16, 64, Precision::Tf32);
+                move |i| Tf32::from_f64_rn(v[i])
+            });
+            let mut c_tc = [0.0f32; 128];
+            let mut c_cc = [0.0f32; 128];
+            let mut k5 = OpCounters::new();
+            let mut k6 = OpCounters::new();
+            mma_tf32_m16n8k8(&at, &bt, &mut c_tc, gen, &mut k5);
+            cc_mma_tf32_m16n8k8(&at, &bt, &mut c_cc, gen, &mut k6);
+            assert_eq!(c_tc.map(f32::to_bits), c_cc.map(f32::to_bits));
+            assert_eq!(k5.mma_tf32, 1);
+            assert_eq!(k6.fma_f32, MMA_TF32_FMAS);
+        }
+    }
+
+    #[test]
+    fn tiled_mixed_matches_entry_point_on_exact_shape() {
+        // A single 16×8×16 problem must go through the identical chain as
+        // the warp-level entry point.
+        let av = quantized(21, 16 * 16, Precision::F16);
+        let bv = quantized(22, 16 * 8, Precision::F16);
+        let a: [F16; 256] = std::array::from_fn(|i| F16::from_f64_rn(av[i]));
+        let b: [F16; 128] = std::array::from_fn(|i| F16::from_f64_rn(bv[i]));
+        let mut c_entry = [0.0f32; 128];
+        let mut k1 = OpCounters::new();
+        mma_f16_m16n8k16(&a, &b, &mut c_entry, MmaGen::Ampere, &mut k1);
+        let mut c_tiled = vec![0.0f32; 128];
+        let mut k2 = OpCounters::new();
+        mma_tiled_mixed(
+            Precision::F16,
+            MmaGen::Ampere,
+            &av,
+            &bv,
+            &mut c_tiled,
+            16,
+            8,
+            16,
+            false,
+            &mut k2,
+        );
+        assert_eq!(c_entry.to_vec(), c_tiled);
+        assert_eq!(k2.mma_f16, 1);
+    }
+
+    #[test]
+    fn tiled_mixed_approximates_f64_matmul_within_format_error() {
+        // Relative error scales: ~2^-11 per f16/tf32 rounding, ~2^-8 for
+        // bf16, times the k-deep accumulation; generous bounds below.
+        for (p, tol) in [
+            (Precision::F16, 2e-2),
+            (Precision::Bf16, 1e-1),
+            (Precision::Tf32, 2e-2),
+        ] {
+            let (m, n, k) = (33, 17, 21); // ragged on every axis
+            let mut g = LcgF64::new(99);
+            let a = g.vec(m * k);
+            let b = g.vec(k * n);
+            let aq: Vec<f64> = a.iter().map(|&v| p.quantize(v)).collect();
+            let bq: Vec<f64> = b.iter().map(|&v| p.quantize(v)).collect();
+            let mut c = vec![0.0f32; m * n];
+            let mut ctr = OpCounters::new();
+            mma_tiled_mixed(
+                p,
+                MmaGen::Ampere,
+                &aq,
+                &bq,
+                &mut c,
+                m,
+                n,
+                k,
+                false,
+                &mut ctr,
+            );
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f64;
+                    for kk in 0..k {
+                        acc += a[i * k + kk] * b[kk * n + j];
+                    }
+                    let d = (c[i * n + j] as f64 - acc).abs();
+                    assert!(
+                        d < tol * acc.abs().max(1.0),
+                        "{p}: ({i},{j}) differs by {d:.3e}"
+                    );
+                }
+            }
+            // ceil(33/16)·ceil(17/8)·ceil(21/kt) tiles.
+            let kt = if p == Precision::Tf32 { 8 } else { 16 };
+            let want = 3 * 3 * (21usize.div_ceil(kt)) as u64;
+            let got = ctr.mma_f16 + ctr.mma_bf16 + ctr.mma_tf32;
+            assert_eq!(got, want, "{p}: tile count");
+        }
+    }
+
+    #[test]
+    fn tiled_mixed_cc_and_tc_agree_on_ragged_shapes() {
+        for p in [Precision::F16, Precision::Bf16, Precision::Tf32] {
+            let (m, n, k) = (19, 11, 13);
+            let aq = quantized(31, m * k, p);
+            let bq = quantized(32, k * n, p);
+            let mut c_tc = vec![0.25f32; m * n];
+            let mut c_cc = vec![0.25f32; m * n];
+            let mut k1 = OpCounters::new();
+            let mut k2 = OpCounters::new();
+            mma_tiled_mixed(
+                p,
+                MmaGen::Ampere,
+                &aq,
+                &bq,
+                &mut c_tc,
+                m,
+                n,
+                k,
+                false,
+                &mut k1,
+            );
+            mma_tiled_mixed(
+                p,
+                MmaGen::Ampere,
+                &aq,
+                &bq,
+                &mut c_cc,
+                m,
+                n,
+                k,
+                true,
+                &mut k2,
+            );
+            assert_eq!(c_tc, c_cc, "{p}: TC/CC divergence");
+            assert_eq!(k2.mma_f16 + k2.mma_bf16 + k2.mma_tf32, 0);
+            assert!(k2.fma_f32 > 0);
+        }
     }
 }
 

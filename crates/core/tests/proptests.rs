@@ -1,7 +1,13 @@
 //! Property-based tests of the MMU emulation and core utilities.
 
 use cubie_core::counters::{MemTraffic, MMA_F64_FLOPS};
-use cubie_core::frag::{pack_a_f64, pack_b_f64, pack_c_f64, unpack_c_f64};
+use cubie_core::frag::{
+    a_b1_coords, a_f64_coords, a_m16n8k16_coords, a_m16n8k8_coords, b_f64_coords,
+    b_m16n8k16_coords, b_m16n8k8_coords, c_f64_coords, c_m16n8k16_coords, pack_a_f64,
+    pack_a_m16n8k16, pack_a_m16n8k8, pack_b_f64, pack_b_m16n8k16, pack_b_m16n8k8, pack_c_f64,
+    pack_c_m16n8k16, unpack_a_f64, unpack_a_m16n8k16, unpack_a_m16n8k8, unpack_b_f64,
+    unpack_b_m16n8k16, unpack_b_m16n8k8, unpack_c_f64, unpack_c_m16n8k16,
+};
 use cubie_core::mma::{
     cc_mma_f64_8x8x8, cc_mma_f64_m8n8k4, mma_f64_8x8x8, mma_f64_m8n8k4, mma_tiled_f64,
 };
@@ -195,4 +201,100 @@ proptest! {
             prop_assert_eq!(v, b.next_f64());
         }
     }
+
+    /// The f64 A/B operand fragments round-trip losslessly for arbitrary
+    /// bit patterns (completing the C round-trip above: every pack in
+    /// `frag` is a pure lane permutation).
+    #[test]
+    fn f64_operand_fragments_roundtrip(bits in proptest::collection::vec(0u64..u64::MAX, 64)) {
+        let mut a = [0.0f64; 32];
+        let mut b = [0.0f64; 32];
+        for i in 0..32 {
+            a[i] = f64::from_bits(bits[i]);
+            b[i] = f64::from_bits(bits[32 + i]);
+        }
+        let ra = unpack_a_f64(&pack_a_f64(&a));
+        let rb = unpack_b_f64(&pack_b_f64(&b));
+        for i in 0..32 {
+            prop_assert_eq!(ra[i].to_bits(), a[i].to_bits());
+            prop_assert_eq!(rb[i].to_bits(), b[i].to_bits());
+        }
+    }
+
+    /// The mixed-precision `m16n8k16` and `m16n8k8` operand fragments
+    /// round-trip for arbitrary 16-bit (f16/bf16) and 32-bit (tf32)
+    /// payloads — NaN encodings and subnormals included.
+    #[test]
+    fn mixed_operand_fragments_roundtrip(
+        b16 in proptest::collection::vec((0u32..0x1_0000).prop_map(|v| v as u16), 256),
+        b32 in proptest::collection::vec(0u32..u32::MAX, 128),
+    ) {
+        let mut a16 = [0u16; 256];
+        a16.copy_from_slice(&b16);
+        let mut bb16 = [0u16; 128];
+        bb16.copy_from_slice(&b16[..128]);
+        prop_assert_eq!(unpack_a_m16n8k16(&pack_a_m16n8k16(&a16)), a16);
+        prop_assert_eq!(unpack_b_m16n8k16(&pack_b_m16n8k16(&bb16)), bb16);
+        let mut a32 = [0u32; 128];
+        a32.copy_from_slice(&b32);
+        let mut bb32 = [0u32; 64];
+        bb32.copy_from_slice(&b32[..64]);
+        prop_assert_eq!(unpack_a_m16n8k8(&pack_a_m16n8k8(&a32)), a32);
+        prop_assert_eq!(unpack_b_m16n8k8(&pack_b_m16n8k8(&bb32)), bb32);
+    }
+
+    /// The f32 `m16n8k16` accumulator fragment round-trips for arbitrary
+    /// bit patterns.
+    #[test]
+    fn mixed_accumulator_fragment_roundtrips(
+        bits in proptest::collection::vec(0u32..u32::MAX, 128),
+    ) {
+        let mut c = [0.0f32; 128];
+        for (dst, &src) in c.iter_mut().zip(&bits) {
+            *dst = f32::from_bits(src);
+        }
+        let back = unpack_c_m16n8k16(&pack_c_m16n8k16(&c));
+        for (x, y) in back.iter().zip(&c) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+/// Every per-lane coordinate map in `frag` must be a bijection: across
+/// the 32 lanes of a warp, each matrix position is owned by exactly one
+/// (lane, slot) — the PTX ownership contract all pack/unpack pairs and
+/// the strided MMA fast paths rely on.
+#[test]
+fn lane_coordinate_maps_are_bijective() {
+    fn check(name: &str, rows: usize, cols: usize, coords: impl Fn(usize) -> Vec<(usize, usize)>) {
+        let mut seen = vec![0u32; rows * cols];
+        for lane in 0..32 {
+            for (r, c) in coords(lane) {
+                assert!(
+                    r < rows && c < cols,
+                    "{name}: lane {lane} -> ({r},{c}) out of range"
+                );
+                seen[r * cols + c] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "{name}: coordinate map is not a bijection onto {rows}x{cols}"
+        );
+    }
+    check("a_f64 (8x4)", 8, 4, |l| vec![a_f64_coords(l)]);
+    check("b_f64 (4x8)", 4, 8, |l| vec![b_f64_coords(l)]);
+    check("c_f64 (8x8)", 8, 8, |l| c_f64_coords(l).to_vec());
+    check("a_b1 (8x128b)", 8, 4, |l| vec![a_b1_coords(l)]);
+    check("a_m16n8k16 (16x16)", 16, 16, |l| {
+        a_m16n8k16_coords(l).to_vec()
+    });
+    check("b_m16n8k16 (16x8)", 16, 8, |l| {
+        b_m16n8k16_coords(l).to_vec()
+    });
+    check("c_m16n8k16 (16x8)", 16, 8, |l| {
+        c_m16n8k16_coords(l).to_vec()
+    });
+    check("a_m16n8k8 (16x8)", 16, 8, |l| a_m16n8k8_coords(l).to_vec());
+    check("b_m16n8k8 (8x8)", 8, 8, |l| b_m16n8k8_coords(l).to_vec());
 }

@@ -15,6 +15,10 @@ pub fn a100() -> DeviceSpec {
         tc_fp64_tflops: 19.5,
         cc_fp64_tflops: 9.7,
         tc_b1_tbitops: 2496.0 / 2.0, // dense INT1 TOPS
+        tc_f16_tflops: 312.0,        // dense, f32 accumulate
+        tc_bf16_tflops: 312.0,
+        tc_tf32_tflops: 156.0,
+        cc_fp32_tflops: 19.5,
         cc_int_tops: 19.5,
         special_ratio: 0.25,
         dram_bw_gbs: 1555.0,
@@ -49,6 +53,10 @@ pub fn h200() -> DeviceSpec {
         tc_fp64_tflops: 66.9,
         cc_fp64_tflops: 33.5,
         tc_b1_tbitops: 3958.0 / 2.0,
+        tc_f16_tflops: 989.5, // dense, f32 accumulate
+        tc_bf16_tflops: 989.5,
+        tc_tf32_tflops: 494.7,
+        cc_fp32_tflops: 67.0,
         cc_int_tops: 33.5,
         special_ratio: 0.25,
         dram_bw_gbs: 4000.0,
@@ -83,6 +91,10 @@ pub fn b200() -> DeviceSpec {
         tc_fp64_tflops: 40.0,
         cc_fp64_tflops: 40.0,
         tc_b1_tbitops: 4500.0 / 2.0,
+        tc_f16_tflops: 1800.0, // dense, f32 accumulate
+        tc_bf16_tflops: 1800.0,
+        tc_tf32_tflops: 900.0,
+        cc_fp32_tflops: 80.0,
         cc_int_tops: 40.0,
         special_ratio: 0.25,
         dram_bw_gbs: 8000.0,
@@ -177,6 +189,30 @@ mod tests {
         assert_eq!(devs.len(), 3);
         assert_ne!(devs[0].arch, devs[1].arch);
         assert_ne!(devs[1].arch, devs[2].arch);
+    }
+
+    #[test]
+    fn mixed_precision_peaks_match_fig12_series() {
+        // The per-device FP16 TC peaks are the same published numbers the
+        // Figure 12 evolution series plots — one source of truth per Table 5.
+        for (d, g) in all_devices().iter().zip(PEAK_EVOLUTION) {
+            assert_eq!(d.tc_f16_tflops, g.fp16_tc, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn mixed_precision_peak_ordering() {
+        // FP16 ≥ BF16 > TF32 > FP64 TC on every evaluation device, and
+        // every generation maps onto the fused-dot semantics.
+        use cubie_core::scalar::MmaGen;
+        for d in all_devices() {
+            assert_eq!(d.tc_f16_tflops, d.tc_bf16_tflops, "{}", d.name);
+            assert!(d.tc_bf16_tflops > d.tc_tf32_tflops, "{}", d.name);
+            assert!(d.tc_tf32_tflops > d.tc_fp64_tflops, "{}", d.name);
+            assert!(d.cc_fp32_tflops > 0.0, "{}", d.name);
+            assert_eq!(d.mma_gen(), MmaGen::Ampere, "{}", d.name);
+        }
+        assert_eq!(Arch::Volta.mma_gen(), MmaGen::Volta);
     }
 
     #[test]

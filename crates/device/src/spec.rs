@@ -1,10 +1,15 @@
 //! The device parameter set consumed by the timing and power models.
 
+use cubie_core::scalar::{MmaGen, Precision};
 use serde::{Deserialize, Serialize};
 
 /// GPU architecture generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Arch {
+    /// NVIDIA Volta (V100) — pre-dates the paper's Table 5 devices but
+    /// anchors the mixed-precision accumulation-semantics axis (serial
+    /// RZ truncating accumulate, subnormal outputs flushed).
+    Volta,
     /// NVIDIA Ampere (A100).
     Ampere,
     /// NVIDIA Hopper (H100/H200).
@@ -13,9 +18,23 @@ pub enum Arch {
     Blackwell,
 }
 
+impl Arch {
+    /// The mixed-precision MMA accumulation semantics this generation's
+    /// tensor cores implement (per the microbenchmark literature: Volta
+    /// truncates serially; Ampere and everything after use the fused
+    /// five-term round-to-nearest dot product).
+    pub fn mma_gen(self) -> MmaGen {
+        match self {
+            Arch::Volta => MmaGen::Volta,
+            Arch::Ampere | Arch::Hopper | Arch::Blackwell => MmaGen::Ampere,
+        }
+    }
+}
+
 impl std::fmt::Display for Arch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
+            Arch::Volta => "Volta",
             Arch::Ampere => "Ampere",
             Arch::Hopper => "Hopper",
             Arch::Blackwell => "Blackwell",
@@ -90,6 +109,16 @@ pub struct DeviceSpec {
     /// Peak single-bit tensor-core throughput in Tbitop/s (AND+POPC
     /// multiply-accumulates per second / 1e12).
     pub tc_b1_tbitops: f64,
+    /// Peak FP16 (f32-accumulate) tensor-core throughput in TFLOP/s
+    /// (dense, no sparsity).
+    pub tc_f16_tflops: f64,
+    /// Peak BF16 (f32-accumulate) tensor-core throughput in TFLOP/s.
+    pub tc_bf16_tflops: f64,
+    /// Peak TF32 tensor-core throughput in TFLOP/s.
+    pub tc_tf32_tflops: f64,
+    /// Peak FP32 CUDA-core throughput in TFLOP/s (services the CC
+    /// replacements of the mixed-precision MMAs).
+    pub cc_fp32_tflops: f64,
     /// Peak 32-bit integer/logic throughput in Top/s.
     pub cc_int_tops: f64,
     /// Special-function (divide/sqrt/trig) throughput as a fraction of the
@@ -133,6 +162,41 @@ impl DeviceSpec {
     /// Peak bit-MMA bit-operations per second.
     pub fn tc_b1_bitops(&self) -> f64 {
         self.tc_b1_tbitops * 1e12
+    }
+
+    /// Peak FP16 tensor-core FLOP/s.
+    pub fn tc_f16_flops(&self) -> f64 {
+        self.tc_f16_tflops * 1e12
+    }
+
+    /// Peak BF16 tensor-core FLOP/s.
+    pub fn tc_bf16_flops(&self) -> f64 {
+        self.tc_bf16_tflops * 1e12
+    }
+
+    /// Peak TF32 tensor-core FLOP/s.
+    pub fn tc_tf32_flops(&self) -> f64 {
+        self.tc_tf32_tflops * 1e12
+    }
+
+    /// Peak FP32 CUDA-core FLOP/s.
+    pub fn cc_fp32_flops(&self) -> f64 {
+        self.cc_fp32_tflops * 1e12
+    }
+
+    /// Peak tensor-core FLOP/s for a given operand precision.
+    pub fn tc_peak_flops(&self, p: Precision) -> f64 {
+        match p {
+            Precision::F64 => self.tc_fp64_flops(),
+            Precision::F16 => self.tc_f16_flops(),
+            Precision::Bf16 => self.tc_bf16_flops(),
+            Precision::Tf32 => self.tc_tf32_flops(),
+        }
+    }
+
+    /// The MMA accumulation semantics of this device's generation.
+    pub fn mma_gen(&self) -> MmaGen {
+        self.arch.mma_gen()
     }
 
     /// Peak integer operations per second.

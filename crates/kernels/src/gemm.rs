@@ -11,8 +11,9 @@
 //! CC-E is equivalent to CC for Quadrant I workloads (no redundant
 //! computation is introduced by the MMA mapping), as Section 5.2 notes.
 
-use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
-use cubie_core::mma::{mma_f64_m8n8k4, mma_f64_m8n8k4_strided};
+use cubie_core::counters::{MemTraffic, MMA_F16_FMAS, MMA_F64_FMAS, MMA_TF32_FMAS};
+use cubie_core::mma::{mma_f64_m8n8k4, mma_f64_m8n8k4_strided, mma_tiled_mixed};
+use cubie_core::scalar::{MmaGen, Precision};
 use cubie_core::{par, DenseMatrix, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
@@ -98,6 +99,145 @@ pub fn trace(case: &GemmCase, variant: Variant) -> WorkloadTrace {
         Variant::Baseline => WorkloadTrace::single(baseline_kernel_trace(case)),
         Variant::Tc | Variant::Cc | Variant::CcE => tc_kernel_trace(case, variant),
     }
+}
+
+/// Analytic trace of one mixed-precision variant for a case (no data
+/// touched). [`Precision::F64`] delegates to [`trace`]; the reduced
+/// precisions model the `mma.sync` warp-tile kernels (`m16n8k16` for
+/// FP16/BF16, `m16n8k8` for TF32) with `f32` accumulation and no
+/// split-K (the shapes' larger k-depth keeps the grid occupied).
+///
+/// # Panics
+/// Panics on [`Variant::Baseline`]: the mixed-precision axis compares the
+/// tensor-core kernel against its CUDA-core replacement only.
+pub fn trace_precision(case: &GemmCase, variant: Variant, precision: Precision) -> WorkloadTrace {
+    if precision == Precision::F64 {
+        return trace(case, variant);
+    }
+    assert!(
+        variant != Variant::Baseline,
+        "mixed-precision GEMM has TC and CC variants only"
+    );
+    let kt = match precision {
+        Precision::Tf32 => 8u64,
+        _ => 16,
+    };
+    let (m, n, k) = (case.m as u64, case.n as u64, case.k as u64);
+    let mma_total = m.div_ceil(16) * n.div_ceil(8) * k.div_ceil(kt);
+    let mut ops = OpCounters::default();
+    match (variant, precision) {
+        (Variant::Tc, Precision::F16) => ops.mma_f16 = mma_total,
+        (Variant::Tc, Precision::Bf16) => ops.mma_bf16 = mma_total,
+        (Variant::Tc, Precision::Tf32) => ops.mma_tf32 = mma_total,
+        (_, Precision::Tf32) => {
+            ops.fma_f32 = mma_total * MMA_TF32_FMAS;
+            ops.int_ops = mma_total * MMA_TF32_FMAS;
+        }
+        _ => {
+            ops.fma_f32 = mma_total * MMA_F16_FMAS;
+            ops.int_ops = mma_total * MMA_F16_FMAS;
+        }
+    }
+    // Same 64×64 block tiling and streaming structure as the FP64 kernel,
+    // with operand bytes scaled by the element size and `f32` output.
+    let tiles = (case.m.div_ceil(TC_TILE) * case.n.div_ceil(TC_TILE)) as u64;
+    let tile = TC_TILE as u64;
+    let eb = precision.elem_bytes();
+    let restream = tiles * 2 * tile * k * eb;
+    let compulsory = (m * k + k * n) * eb;
+    ops.gmem_load = MemTraffic::coalesced(compulsory);
+    ops.l2_bytes = restream.saturating_sub(compulsory);
+    ops.gmem_store = MemTraffic::coalesced(m * n * 4);
+    ops.smem_bytes = restream * (1 + 8);
+    ops.syncs = tiles * k.div_ceil(TC_BK as u64) * 2;
+    // Each warp owns several independent accumulators; the dependent
+    // chain is one output tile's k loop (MMA latency is format-agnostic
+    // on current hardware; CC chains step per dot-4 slice).
+    let lat = match variant {
+        Variant::Tc => k.div_ceil(kt) as f64 * latency::MMA_F64 / 8.0,
+        _ => k.div_ceil(4) as f64 * 4.0 * latency::FMA_F64 / 8.0,
+    };
+    WorkloadTrace::single(KernelTrace::new(
+        format!(
+            "gemm-{}-{}-{}",
+            variant.label(),
+            precision.label(),
+            case.label()
+        ),
+        tiles,
+        256,
+        (2 * TC_TILE * TC_BK) as u32 * eb as u32,
+        ops,
+        lat,
+    ))
+}
+
+/// Functional execution of one mixed-precision variant: quantizes the
+/// FP64 inputs to `precision` (round-to-nearest-even), multiplies through
+/// [`mma_tiled_mixed`] with the accumulation semantics of `gen`, and
+/// returns the `f32` product (row-major `M×N`) plus the workload trace.
+/// TC and CC produce bit-identical values; only the recorded pipe
+/// differs (Observation 7 along the new axis).
+///
+/// # Panics
+/// Panics on [`Precision::F64`] (use [`run`]) and on
+/// [`Variant::Baseline`].
+pub fn run_precision(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    variant: Variant,
+    precision: Precision,
+    gen: MmaGen,
+) -> (Vec<f32>, WorkloadTrace) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(
+        precision != Precision::F64,
+        "run_precision models reduced precisions; use run"
+    );
+    let case = GemmCase {
+        m: a.rows(),
+        n: b.cols(),
+        k: a.cols(),
+    };
+    let aq: Vec<f64> = a
+        .as_slice()
+        .iter()
+        .map(|&v| precision.quantize(v))
+        .collect();
+    let bq: Vec<f64> = b
+        .as_slice()
+        .iter()
+        .map(|&v| precision.quantize(v))
+        .collect();
+    let mut c = vec![0.0f32; case.m * case.n];
+    let mut executed = OpCounters::new();
+    let cc = variant != Variant::Tc;
+    mma_tiled_mixed(
+        precision,
+        gen,
+        &aq,
+        &bq,
+        &mut c,
+        case.m,
+        case.n,
+        case.k,
+        cc,
+        &mut executed,
+    );
+    let trace = trace_precision(&case, variant, precision);
+    // Anchor the analytic trace to what was actually executed.
+    let ops = trace.kernels[0].ops;
+    let analytic = if cc {
+        executed.fma_f32 == ops.fma_f32
+    } else {
+        (executed.mma_f16, executed.mma_bf16, executed.mma_tf32)
+            == (ops.mma_f16, ops.mma_bf16, ops.mma_tf32)
+    };
+    assert!(
+        analytic,
+        "functional mixed MMA count must match the analytic trace"
+    );
+    (c, trace)
 }
 
 /// Split-K schedule: grids too small to fill a device split the k loop
@@ -430,6 +570,99 @@ mod tests {
         let case = GemmCase::square(256);
         let b = trace(&case, Variant::Baseline).total_ops();
         assert_eq!(b.cc_flops() as f64, case.useful_flops());
+    }
+
+    #[test]
+    fn precision_tc_and_cc_are_bit_identical() {
+        let case = GemmCase::square(64);
+        let (a, b) = inputs(&case);
+        for p in [Precision::F16, Precision::Bf16, Precision::Tf32] {
+            for gen in [MmaGen::Ampere, MmaGen::Volta] {
+                let (tc, tt) = run_precision(&a, &b, Variant::Tc, p, gen);
+                let (cc, ct) = run_precision(&a, &b, Variant::Cc, p, gen);
+                let tc_bits: Vec<u32> = tc.iter().map(|v| v.to_bits()).collect();
+                let cc_bits: Vec<u32> = cc.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(tc_bits, cc_bits, "{p}/{gen:?}");
+                // Same work, different pipes.
+                let (to, co) = (tt.total_ops(), ct.total_ops());
+                assert_eq!(to.tc_mixed_flops(), co.cc_f32_flops(), "{p}");
+                assert_eq!(co.mma_f16 + co.mma_bf16 + co.mma_tf32, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn precision_run_approximates_reference_within_format_error() {
+        let case = GemmCase::square(64);
+        let (a, b) = inputs(&case);
+        let gold = reference(&a, &b);
+        // DenseMatrix::random draws from [-0.5, 0.5); a 64-deep dot stays
+        // O(1), so the relative format error bounds the absolute error.
+        for (p, tol) in [
+            (Precision::F16, 2e-2),
+            (Precision::Bf16, 1e-1),
+            (Precision::Tf32, 2e-2),
+        ] {
+            let (c, _) = run_precision(&a, &b, Variant::Tc, p, MmaGen::Ampere);
+            let max = c
+                .iter()
+                .zip(gold.as_slice())
+                .map(|(&got, &want)| (got as f64 - want).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max < tol, "{p}: max err {max}");
+        }
+    }
+
+    #[test]
+    fn precision_trace_counts_are_exact() {
+        let case = GemmCase::square(256);
+        let t = trace_precision(&case, Variant::Tc, Precision::F16).total_ops();
+        assert_eq!(t.mma_f16, (256 / 16) * (256 / 8) * (256 / 16));
+        assert_eq!(t.tc_f16_flops(), 2 * 256 * 256 * 256);
+        let t32 = trace_precision(&case, Variant::Tc, Precision::Tf32).total_ops();
+        assert_eq!(t32.mma_tf32, (256 / 16) * (256 / 8) * (256 / 8));
+        assert_eq!(t32.tc_tf32_flops(), 2 * 256 * 256 * 256);
+        // CC replacement issues exactly the same FLOPs as f32 FMAs.
+        let cc = trace_precision(&case, Variant::Cc, Precision::F16).total_ops();
+        assert_eq!(cc.cc_f32_flops(), t.tc_f16_flops());
+        // Operand bytes track the element size: f16 loads half of tf32's.
+        let l16 = trace_precision(&case, Variant::Tc, Precision::F16).total_ops();
+        assert_eq!(
+            l16.gmem_load.coalesced * 2,
+            t32.gmem_load.coalesced,
+            "2-byte vs 4-byte operands"
+        );
+    }
+
+    #[test]
+    fn precision_f64_delegates_to_fp64_trace() {
+        let case = GemmCase::square(256);
+        assert_eq!(
+            trace_precision(&case, Variant::Tc, Precision::F64),
+            trace(&case, Variant::Tc)
+        );
+    }
+
+    #[test]
+    fn precision_ragged_shape_works() {
+        let a = DenseMatrix::random(33, 21, 7);
+        let b = DenseMatrix::random(21, 17, 8);
+        let (c, t) = run_precision(&a, &b, Variant::Tc, Precision::Bf16, MmaGen::Ampere);
+        assert_eq!(c.len(), 33 * 17);
+        let tiles = 33usize.div_ceil(16) * 17usize.div_ceil(8) * 21usize.div_ceil(16);
+        assert_eq!(t.total_ops().mma_bf16, tiles as u64);
+    }
+
+    #[test]
+    fn volta_and_ampere_gens_differ_functionally() {
+        // The generation axis must be live end to end: on random inputs a
+        // 64-deep f16 accumulation almost surely rounds differently under
+        // serial RZ than under fused RN.
+        let case = GemmCase::square(64);
+        let (a, b) = inputs(&case);
+        let (amp, _) = run_precision(&a, &b, Variant::Tc, Precision::F16, MmaGen::Ampere);
+        let (vol, _) = run_precision(&a, &b, Variant::Tc, Precision::F16, MmaGen::Volta);
+        assert_ne!(amp, vol, "generation semantics must be observable");
     }
 
     #[test]

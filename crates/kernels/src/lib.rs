@@ -42,4 +42,5 @@ pub mod stencil;
 pub mod suite;
 
 pub use common::{Quadrant, Variant};
+pub use cubie_core::scalar::{MmaGen, Precision};
 pub use suite::{all_workloads, prepare_cases, PreparedCase, Workload, WorkloadSpec};

@@ -11,11 +11,18 @@
 //! | pipe  | work                     | peak                       |
 //! |-------|--------------------------|----------------------------|
 //! | TC    | FP64 MMA FLOPs           | `tc_fp64_tflops`           |
+//! | TC    | FP16/BF16/TF32 MMA FLOPs | `tc_{f16,bf16,tf32}_tflops`|
 //! | CC    | FP64 CUDA-core FLOPs     | `cc_fp64_tflops`           |
+//! | CC    | FP32 CUDA-core FLOPs     | `cc_fp32_tflops`           |
 //! | INT   | integer/logic ops        | `cc_int_tops`              |
 //! | B1    | bit-MMA bit operations   | `tc_b1_tbitops`            |
 //! | LSU   | global+shared bytes      | `l1_bw_gbs`                |
 //! | DRAM  | global bytes by class    | `dram_bw_gbs × class eff.` |
+//!
+//! Mixed-precision MMAs time-share the tensor-core pipe with FP64 MMAs
+//! (their service times add), and their FP32-FMA CUDA-core replacements
+//! share the CC pipe likewise; FP64-only traces are unaffected bit for
+//! bit.
 
 use cubie_core::OpCounters;
 use cubie_device::DeviceSpec;
@@ -221,10 +228,28 @@ struct PipeEff {
 }
 
 fn pipe_times(device: &DeviceSpec, ops: &OpCounters, eff: &PipeEff) -> PipeTimes {
-    let tc = ops.tc_flops() as f64 / (device.tc_fp64_flops() * eff.tc);
+    let mut tc = ops.tc_flops() as f64 / (device.tc_fp64_flops() * eff.tc);
+    // Mixed-precision MMAs share the tensor-core pipe but run at their own
+    // per-format peaks. Each term is added only when its counter is live so
+    // that FP64-only traces keep bit-identical pipe times (and a zero peak
+    // on a hypothetical device cannot inject a 0/0 NaN).
+    if ops.mma_f16 > 0 {
+        tc += ops.tc_f16_flops() as f64 / (device.tc_f16_flops() * eff.tc);
+    }
+    if ops.mma_bf16 > 0 {
+        tc += ops.tc_bf16_flops() as f64 / (device.tc_bf16_flops() * eff.tc);
+    }
+    if ops.mma_tf32 > 0 {
+        tc += ops.tc_tf32_flops() as f64 / (device.tc_tf32_flops() * eff.tc);
+    }
     let cc_flops =
         ops.cc_flops() as f64 + ops.special_f64 as f64 * (1.0 / device.special_ratio - 1.0);
-    let cc = cc_flops / (device.cc_fp64_flops() * eff.cc);
+    let mut cc = cc_flops / (device.cc_fp64_flops() * eff.cc);
+    // FP32 FMAs (the CUDA-core replacements of mixed-precision MMAs) run
+    // at the FP32 CUDA-core peak.
+    if ops.fma_f32 > 0 {
+        cc += ops.cc_f32_flops() as f64 / (device.cc_fp32_flops() * eff.cc);
+    }
     let int = ops.int_ops as f64 / (device.cc_int_ops() * eff.cc);
     let b1 = (ops.mma_b1 * cubie_core::counters::MMA_B1_BITOPS) as f64
         / (device.tc_b1_bitops() * eff.tc);
@@ -541,6 +566,102 @@ mod tests {
         ] {
             assert!((0.0..=1.0).contains(&u), "util {u}");
         }
+    }
+
+    #[test]
+    fn pure_f16_mma_kernel_hits_f16_peak() {
+        let d = h200();
+        let t = big_launch(OpCounters {
+            mma_f16: 1 << 14,
+            ..Default::default()
+        });
+        let timing = time_kernel(&d, &t);
+        assert_eq!(timing.limiter, Limiter::TensorCore);
+        let achieved = t.ops.tc_f16_flops() as f64 / timing.exec_s;
+        assert!(
+            (achieved / d.tc_f16_flops() - 1.0).abs() < 0.01,
+            "achieved {achieved:.3e} vs peak {:.3e}",
+            d.tc_f16_flops()
+        );
+    }
+
+    #[test]
+    fn f16_mma_outruns_fp64_mma_by_the_peak_ratio() {
+        // Same MMA count, different format: the FP16 pipe on H200 is
+        // 989.5/66.9 ≈ 14.8× the FP64 TC peak, but each FP16 m16n8k16
+        // issues 4096 FLOPs vs 8192 for the FP64 16×16×16 — the time
+        // ratio is (peak ratio) × (flop ratio).
+        let d = h200();
+        let f64_t = big_launch(OpCounters {
+            mma_f64: 4096,
+            ..Default::default()
+        });
+        let f16_t = big_launch(OpCounters {
+            mma_f16: 4096,
+            ..Default::default()
+        });
+        let r = time_kernel(&d, &f64_t).exec_s / time_kernel(&d, &f16_t).exec_s;
+        let expected = (d.tc_f16_flops() / d.tc_fp64_flops())
+            * (cubie_core::counters::MMA_F64_FLOPS as f64
+                / cubie_core::counters::MMA_F16_FLOPS as f64);
+        assert!((r - expected).abs() / expected < 0.01, "ratio {r}");
+    }
+
+    #[test]
+    fn fp64_pipe_times_are_bit_identical_with_mixed_counters_zero() {
+        // The mixed-precision terms must not perturb FP64-only timing
+        // (this is what keeps every existing golden artifact stable).
+        let d = a100();
+        let t = big_launch(OpCounters {
+            mma_f64: 977,
+            fma_f64: 12345,
+            int_ops: 999,
+            gmem_load: MemTraffic::coalesced(1 << 18),
+            smem_bytes: 1 << 12,
+            ..Default::default()
+        });
+        let timing = time_kernel(&d, &t);
+        assert_eq!(t.ops.mma_f16, 0);
+        // Recompute the FP64 TC term exactly as the pre-mixed model did.
+        let occ = crate::occupancy::Occupancy::of(&d, &t);
+        let eff_tc = occ.tc_efficiency(&d).max(1e-4);
+        let expected_tc = t.ops.tc_flops() as f64 / (d.tc_fp64_flops() * eff_tc);
+        assert_eq!(timing.pipes.tc.to_bits(), expected_tc.to_bits());
+    }
+
+    #[test]
+    fn mixed_mmas_add_onto_the_shared_tc_pipe() {
+        let d = h200();
+        let only_f64 = big_launch(OpCounters {
+            mma_f64: 4096,
+            ..Default::default()
+        });
+        let both = big_launch(OpCounters {
+            mma_f64: 4096,
+            mma_bf16: 4096,
+            mma_tf32: 4096,
+            ..Default::default()
+        });
+        let a = time_kernel(&d, &only_f64).pipes.tc;
+        let b = time_kernel(&d, &both).pipes.tc;
+        assert!(b > a, "shared pipe must accumulate: {b} vs {a}");
+    }
+
+    #[test]
+    fn f32_fma_replacement_uses_fp32_peak() {
+        let d = b200();
+        let t = big_launch(OpCounters {
+            fma_f32: 1 << 16,
+            ..Default::default()
+        });
+        let timing = time_kernel(&d, &t);
+        assert_eq!(timing.limiter, Limiter::CudaCore);
+        let achieved = t.ops.cc_f32_flops() as f64 / timing.exec_s;
+        assert!(
+            (achieved / d.cc_fp32_flops() - 1.0).abs() < 0.01,
+            "achieved {achieved:.3e} vs fp32 peak {:.3e}",
+            d.cc_fp32_flops()
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@
 //!          --graph-scale K           divide Table 3 graph sizes by K
 //!
 //! `sweep` additionally accepts the shared engine flags:
-//!          --filter workload=…|variant=…|device=…|case=…   (repeatable)
+//!          --filter workload=…|variant=…|device=…|case=…|precision=…
+//!                                    (repeatable; precision adds GEMM
+//!                                    f16/bf16/tf32 TC/CC cells)
 //!          --jobs N                  worker-thread cap (results identical
 //!                                    for every N; only wall-clock changes)
 //! ```
@@ -83,8 +85,8 @@ fn usage() {
     println!(
         "cubie — the Cubie MMU characterization suite\n\n\
          USAGE:\n  cubie devices\n  cubie workloads\n  \
-         cubie sweep [--filter workload=…|variant=…|device=…|case=…] [--jobs N] \
-         [--sparse-scale K] [--graph-scale K]\n  \
+         cubie sweep [--filter workload=…|variant=…|device=…|case=…|precision=…] \
+         [--jobs N] [--sparse-scale K] [--graph-scale K]\n  \
          cubie run <workload> [--device a100|h200|b200] [--case 0..4] \
          [--sparse-scale K] [--graph-scale K]\n  \
          cubie verify <workload>\n  cubie errors [--quick]\n  \
@@ -206,7 +208,8 @@ fn sweep_cmd(rest: &[&String]) {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!(
-                "{e}\n\nusage: cubie sweep [--filter workload=…|variant=…|device=…|case=…] \
+                "{e}\n\nusage: cubie sweep \
+                 [--filter workload=…|variant=…|device=…|case=…|precision=…] \
                  [--jobs N] [--sparse-scale K] [--graph-scale K]"
             );
             std::process::exit(2);
@@ -221,6 +224,7 @@ fn sweep_cmd(rest: &[&String]) {
                 c.workload.spec().name.to_string(),
                 c.case.clone(),
                 c.variant.label().to_string(),
+                c.precision.label().to_string(),
                 c.device.clone(),
                 report::seconds(c.time_s()),
                 format!("{:.2}", c.gthroughput()),
@@ -236,6 +240,7 @@ fn sweep_cmd(rest: &[&String]) {
                 "workload",
                 "case",
                 "variant",
+                "prec",
                 "device",
                 "time",
                 "Gunit/s",
@@ -269,6 +274,7 @@ fn run_cmd(rest: &[&String]) {
         variants: None,
         devices: parse_devices(rest),
         cases: Some(vec![case_idx]),
+        precisions: vec![cubie::kernels::Precision::F64],
         sparse_scale: ss,
         graph_scale: gs,
         jobs: None,

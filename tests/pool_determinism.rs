@@ -43,6 +43,7 @@ fn small_config(jobs: Option<usize>) -> SweepConfig {
         variants: None,
         devices: cubie::device::all_devices(),
         cases: None,
+        precisions: vec![cubie::kernels::Precision::F64],
         sparse_scale: 64,
         graph_scale: 512,
         jobs,

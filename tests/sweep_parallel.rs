@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use cubie::bench::{SweepCache, SweepConfig, SweepRunner};
-use cubie::kernels::{Variant, Workload};
+use cubie::kernels::{Precision, Variant, Workload};
 
 /// A cross-quadrant config small enough for tests: dense, latency-bound
 /// and sparse workloads, reduced sparse/graph generation scales.
@@ -16,6 +16,7 @@ fn small_config(jobs: Option<usize>) -> SweepConfig {
         variants: None,
         devices: cubie::device::all_devices(),
         cases: None,
+        precisions: vec![Precision::F64],
         sparse_scale: 64,
         graph_scale: 512,
         jobs,

@@ -8,7 +8,7 @@
 
 use cubie::analysis::errors::{table6, ErrorScale};
 use cubie::bench::SweepCache;
-use cubie::kernels::{bfs, Variant, Workload};
+use cubie::kernels::{bfs, gemm, MmaGen, Precision, Variant, Workload};
 
 /// Table 6 reports avg/max FP64 errors between 5e-17 and ~5e-9 across
 /// every workload/variant cell; 1e-8 bounds the whole published table.
@@ -88,6 +88,55 @@ fn bfs_variants_agree_exactly() {
             levels, gold,
             "BFS {v} levels differ from the serial reference"
         );
+    }
+}
+
+#[test]
+fn mixed_precision_tc_and_cc_agree_bitwise_and_track_the_reference() {
+    // The differential oracle extended along the new precision axis:
+    // for every reduced operand format and both tensor-core
+    // generations, the TC kernel and its CUDA-core replacement must be
+    // bit-identical (Observation 7 carries over), and both must track
+    // the FP64 serial reference within the operand format's unit
+    // roundoff — the mixed-precision analogue of the Table 6 scale.
+    let case = gemm::GemmCase {
+        m: 96,
+        n: 64,
+        k: 80,
+    };
+    let (a, b) = gemm::inputs(&case);
+    let reference = gemm::reference(&a, &b);
+    // k = 80 accumulations of O(1) inputs: ~k·u headroom over the unit
+    // roundoff u of each operand format (f16 u = 2^-11, bf16 u = 2^-8,
+    // tf32 u = 2^-11; accumulation is f32 throughout).
+    let tol = |p: Precision| match p {
+        Precision::F16 | Precision::Tf32 => 3e-2,
+        Precision::Bf16 => 2e-1,
+        Precision::F64 => unreachable!(),
+    };
+    for p in [Precision::F16, Precision::Bf16, Precision::Tf32] {
+        for gen in [MmaGen::Volta, MmaGen::Ampere] {
+            let (tc, _) = gemm::run_precision(&a, &b, Variant::Tc, p, gen);
+            let (cc, _) = gemm::run_precision(&a, &b, Variant::Cc, p, gen);
+            for (i, (x, y)) in tc.iter().zip(&cc).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{p} {gen:?}: TC and CC diverge at element {i}"
+                );
+            }
+            let mut max_rel = 0.0f64;
+            for (got, want) in tc.iter().zip(reference.as_slice()) {
+                let rel = (f64::from(*got) - want).abs() / want.abs().max(1.0);
+                max_rel = max_rel.max(rel);
+            }
+            assert!(
+                max_rel < tol(p),
+                "{p} {gen:?}: max relative error {max_rel:.3e} exceeds the \
+                 format scale {:.1e}",
+                tol(p)
+            );
+        }
     }
 }
 

@@ -58,6 +58,53 @@ pub fn fnv(s: &str) -> u64 {
     h
 }
 
+/// Parse one regression-file seed token: decimal or `0x`-hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(h) => u64::from_str_radix(h, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Extract the replay seeds for `test` from regression-file `text`.
+/// Lines are `<module_path>::<test_name> = <seed>` (decimal or `0x`
+/// hex); blank lines and `#` comments are skipped; multiple lines for
+/// the same test all replay, in file order.
+pub fn parse_regression_seeds(text: &str, test: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let (name, seed) = line.split_once('=')?;
+            if name.trim() != test {
+                return None;
+            }
+            parse_seed(seed.trim())
+        })
+        .collect()
+}
+
+/// Committed replay seeds for one property test — the offline analogue
+/// of proptest's failure-persistence files. Looks for
+/// `<manifest_dir>/proptest-regressions/<test binary crate>.txt` (the
+/// first segment of `module_path`, i.e. the test file's stem) and
+/// returns every seed recorded for `<module_path>::<test_name>`. The
+/// `proptest!` macro replays these cases *before* the randomly
+/// generated ones, so a once-failing input stays pinned in CI after the
+/// fix lands. Missing files mean no extra cases.
+pub fn regression_seeds(manifest_dir: &str, module_path: &str, test_name: &str) -> Vec<u64> {
+    let root = module_path.split("::").next().unwrap_or(module_path);
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{root}.txt"));
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    parse_regression_seeds(&text, &format!("{module_path}::{test_name}"))
+}
+
 /// A value generator: the core abstraction (sampling only, no
 /// shrinking).
 pub trait Strategy {
@@ -416,10 +463,22 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let __config: $crate::ProptestConfig = $config;
                 let __seed = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__config.cases as u64 {
-                    let mut __rng = $crate::TestRng::new(
-                        __seed ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
+                let __replay = $crate::regression_seeds(
+                    env!("CARGO_MANIFEST_DIR"),
+                    module_path!(),
+                    stringify!($name),
+                );
+                for __case in 0..(__replay.len() as u64 + __config.cases as u64) {
+                    // Committed regression seeds replay first, then the
+                    // name-derived random cases.
+                    let mut __rng = match __replay.get(__case as usize) {
+                        Some(&s) => $crate::TestRng::new(s),
+                        None => $crate::TestRng::new(
+                            __seed
+                                ^ (__case - __replay.len() as u64)
+                                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ),
+                    };
                     $( let $p = $crate::Strategy::sample(&($s), &mut __rng); )*
                     $body
                 }
@@ -441,6 +500,26 @@ mod tests {
             let f = Strategy::sample(&(-2.0..2.0f64), &mut rng);
             assert!((-2.0..2.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn regression_file_parsing() {
+        let text = "\
+# a comment line
+proptests::frag_roundtrip = 0xDEADBEEF
+proptests::frag_roundtrip = 42
+
+other::test = 7
+proptests::frag_roundtrip = not_a_number
+";
+        assert_eq!(
+            crate::parse_regression_seeds(text, "proptests::frag_roundtrip"),
+            vec![0xDEAD_BEEF, 42]
+        );
+        assert_eq!(crate::parse_regression_seeds(text, "other::test"), vec![7]);
+        assert!(crate::parse_regression_seeds(text, "missing::test").is_empty());
+        // A missing regressions file yields no replay cases.
+        assert!(crate::regression_seeds("/nonexistent-dir", "m", "t").is_empty());
     }
 
     #[test]
