@@ -127,6 +127,16 @@ pub struct SmokeResult {
     pub host_cores: usize,
     /// Per-phase busy times of the best repetition, [`SMOKE_PHASES`] order.
     pub phases: Vec<PhaseBreakdown>,
+    /// Label of the SIMD path the run dispatched to
+    /// (`cubie_core::simd::active_path`); `"unrecorded"` in pre-SIMD
+    /// baselines.
+    pub simd_path: String,
+    /// Measured speedup of the active SIMD path over forced scalar on
+    /// the strided MMA core ([`simd_ratio`]); `0.0` when unrecorded.
+    /// Informational — never gated by [`check_smoke`] (the wall-time
+    /// factor covers perf), but kept in the artifact so the perf
+    /// trajectory is visible per-run.
+    pub simd_ratio: f64,
 }
 
 impl SmokeResult {
@@ -149,6 +159,8 @@ impl SmokeResult {
             ("cells", self.cells.into()),
             ("sim_total_s", self.sim_total_s.into()),
             ("wall_ms", self.wall_ms.into()),
+            ("simd_path", self.simd_path.as_str().into()),
+            ("simd_ratio", self.simd_ratio.into()),
             (
                 "phases",
                 Json::Array(
@@ -205,6 +217,14 @@ impl SmokeResult {
             jobs: field("jobs")? as usize,
             host_cores: field("host_cores")? as usize,
             phases,
+            // Optional (added within schema v2): baselines recorded
+            // before the SIMD kernels parse with the sentinel defaults.
+            simd_path: doc
+                .get("simd_path")
+                .and_then(Json::as_str)
+                .unwrap_or("unrecorded")
+                .to_string(),
+            simd_ratio: doc.get("simd_ratio").and_then(Json::as_f64).unwrap_or(0.0),
         })
     }
 
@@ -247,6 +267,49 @@ pub fn phase_rollup(spans: &[cubie_obs::SpanRecord]) -> Vec<PhaseBreakdown> {
         .collect()
 }
 
+/// Measure the active SIMD path's speedup over forced scalar on the
+/// strided `m8n8k4` MMA core (the dominant `trace`-phase inner loop):
+/// `(active_path, scalar_time / active_time)`, best-of-3 per side on a
+/// 256-tile band. ~1 means the active path *is* scalar (or the host
+/// gains nothing); the ratio is reported, never gated.
+pub fn simd_ratio() -> (cubie_core::simd::SimdPath, f64) {
+    use cubie_core::simd::{self, SimdPath};
+    const TILES: usize = 256;
+    let mut rng = cubie_core::LcgF64::new(42);
+    let a = rng.vec(8 * 4);
+    let b = rng.vec(4 * 8 * TILES);
+    let mut c = rng.vec(8 * 8 * TILES);
+    let mut time_path = |p: SimdPath| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..20 {
+                for t in 0..TILES {
+                    simd::mma_f64_m8n8k4_strided_on(
+                        p,
+                        &a,
+                        0,
+                        4,
+                        &b,
+                        t * 8,
+                        8 * TILES,
+                        &mut c,
+                        t * 8,
+                        8 * TILES,
+                    );
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let active = simd::active_path();
+    let active_t = time_path(active);
+    let scalar_t = time_path(SimdPath::Scalar);
+    std::hint::black_box(&c);
+    (active, scalar_t / active_t)
+}
+
 /// Run the smoke sweep [`smoke_reps`] times, each on a cold private
 /// cache, and report cell count, simulated total, best wall time and the
 /// best repetition's phase breakdown (spans are recorded for every rep;
@@ -272,6 +335,7 @@ pub fn run_smoke() -> SmokeResult {
         cells = sweep.cells.len();
         sim_total_s = sweep.cells.iter().map(|c| c.time_s()).sum();
     }
+    let (path, ratio) = simd_ratio();
     SmokeResult {
         cells,
         sim_total_s,
@@ -279,6 +343,8 @@ pub fn run_smoke() -> SmokeResult {
         jobs: config.jobs.unwrap_or(0),
         host_cores: host_cores(),
         phases,
+        simd_path: path.label().to_string(),
+        simd_ratio: ratio,
     }
 }
 
@@ -365,6 +431,8 @@ mod tests {
                     busy_ms: 300.0,
                 },
             ],
+            simd_path: "avx2".to_string(),
+            simd_ratio: 2.5,
         }
     }
 
@@ -379,6 +447,29 @@ mod tests {
         assert_eq!(back.jobs, r.jobs);
         assert_eq!(back.host_cores, r.host_cores);
         assert_eq!(back.phases, r.phases);
+        assert_eq!(back.simd_path, r.simd_path);
+        assert_eq!(back.simd_ratio.to_bits(), r.simd_ratio.to_bits());
+    }
+
+    #[test]
+    fn pre_simd_baselines_parse_with_sentinel_defaults() {
+        // A v2 document recorded before the SIMD fields existed must
+        // still read cleanly (no golden/baseline re-record required).
+        let mut doc = sample().to_json();
+        let Json::Object(ref mut fields) = doc else {
+            panic!("smoke json is an object")
+        };
+        fields.retain(|(k, _)| k != "simd_path" && k != "simd_ratio");
+        let back = SmokeResult::from_json(&doc).unwrap();
+        assert_eq!(back.simd_path, "unrecorded");
+        assert_eq!(back.simd_ratio, 0.0);
+    }
+
+    #[test]
+    fn simd_ratio_reports_the_active_path() {
+        let (path, ratio) = simd_ratio();
+        assert_eq!(path, cubie_core::simd::active_path());
+        assert!(ratio.is_finite() && ratio > 0.0, "ratio {ratio}");
     }
 
     #[test]

@@ -176,6 +176,16 @@ impl Default for SweepConfig {
 }
 
 impl SweepConfig {
+    /// The job count this configuration will actually run with: the
+    /// explicit `--jobs`/`CUBIE_JOBS` value when set, otherwise the job
+    /// count the pool resolves on its own
+    /// ([`cubie_core::par::effective_workers`]). Startup log lines must
+    /// print this — never a raw `Option` — so the CLI reports the same
+    /// number the pool uses.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(cubie_core::par::effective_workers)
+    }
+
     /// Apply one `key=value[,value…]` filter term (`workload=`,
     /// `variant=`, `device=`, `case=`, `precision=`).
     pub fn apply_filter(&mut self, term: &str) -> Result<(), String> {
@@ -754,6 +764,27 @@ mod tests {
         assert_eq!(cfg.jobs, Some(3));
         assert_eq!(cfg.sparse_scale, 64);
         assert_eq!(cfg.graph_scale, 512);
+    }
+
+    #[test]
+    fn effective_jobs_matches_what_the_pool_runs() {
+        let _env = crate::env_lock();
+        let _cap = cubie_core::pool::cap_lock();
+        // Explicit --jobs / CUBIE_JOBS: the printed count is the flag.
+        std::env::set_var("CUBIE_JOBS", "3");
+        let cfg = SweepConfig::default();
+        assert_eq!(cfg.jobs, Some(3));
+        assert_eq!(cfg.effective_jobs(), 3);
+        // Unset (and unparseable, which env_parse warns about and
+        // drops): the printed count is exactly the pool's own
+        // resolution — not "auto", not a guess.
+        std::env::set_var("CUBIE_JOBS", "a-few");
+        let cfg = SweepConfig::default();
+        assert_eq!(cfg.jobs, None);
+        assert_eq!(cfg.effective_jobs(), cubie_core::par::effective_workers());
+        std::env::remove_var("CUBIE_JOBS");
+        let cfg = SweepConfig::default();
+        assert_eq!(cfg.effective_jobs(), cubie_core::par::effective_workers());
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Compiler-version sniff for the AVX-512 kernel path.
+//!
+//! The `core::arch` `_mm512_*` intrinsics stabilized in Rust 1.89, but
+//! the workspace MSRV is pinned lower (see `rust-version` in the root
+//! `Cargo.toml`, verified by the CI `msrv` job). Rather than bump the
+//! MSRV for one optional fast path, the AVX-512 code in `src/simd.rs`
+//! compiles only under the `cubie_avx512` cfg, emitted here when the
+//! building compiler is new enough; on older compilers runtime dispatch
+//! tops out at AVX2 and stays bit-identical (every path is).
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(cubie_avx512)");
+    // Only rustc's own version can move the cfg, not source changes.
+    println!("cargo::rerun-if-changed=build.rs");
+    if let Some((major, minor)) = rustc_release() {
+        if (major, minor) >= (1, 89) {
+            println!("cargo::rustc-cfg=cubie_avx512");
+        }
+    }
+}
+
+/// `(major, minor)` of the compiler driving this build, from `rustc -vV`
+/// (the `release:` line). `None` — and therefore no AVX-512 — when the
+/// output is unparseable.
+fn rustc_release() -> Option<(u32, u32)> {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let out = Command::new(rustc).arg("-vV").output().ok()?;
+    let text = String::from_utf8(out.stdout).ok()?;
+    let line = text.lines().find(|l| l.starts_with("release: "))?;
+    // Strip channel/metadata suffixes: "1.89.0-nightly" → "1.89.0".
+    let ver = line["release: ".len()..].split(['-', '+']).next()?;
+    let mut parts = ver.split('.');
+    Some((parts.next()?.parse().ok()?, parts.next()?.parse().ok()?))
+}

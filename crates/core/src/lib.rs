@@ -30,6 +30,10 @@
 //! * [`par`] — data-parallel helpers used by the functional executions
 //!   of the workloads, running on the persistent worker pool in
 //!   [`pool`].
+//! * [`simd`] — SIMD-width implementations of the dominant inner loops
+//!   (strided MMA core, CSR SpMV row, stencil star row) with runtime
+//!   dispatch across scalar/AVX2/AVX-512/NEON, every path bit-identical
+//!   to scalar (`CUBIE_SIMD` forces a path).
 
 #![warn(missing_docs)]
 
@@ -43,6 +47,7 @@ pub mod par;
 pub mod pool;
 pub mod rng;
 pub mod scalar;
+pub mod simd;
 
 pub use complex::C64;
 pub use counters::{MemTraffic, OpCounters};

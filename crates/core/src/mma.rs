@@ -42,15 +42,6 @@ pub fn flip_last_ulp(v: f64) -> f64 {
     }
 }
 
-#[inline]
-fn perturb(v: f64) -> f64 {
-    if perturb_enabled() {
-        flip_last_ulp(v)
-    } else {
-        v
-    }
-}
-
 /// `f32` analog of [`flip_last_ulp`]: flip the last mantissa bit of a
 /// finite single-precision value. The mixed-precision accumulation chains
 /// produce `f32` results, so their fault-injection hook must perturb at
@@ -79,8 +70,11 @@ fn perturb_f32(v: f32) -> f32 {
 /// `c0 + i·ldc` — so callers with tile-aligned operands skip the scratch
 /// packing entirely. The element order (`i`-major, `j` inner) and the
 /// `k`-ascending FMA chain are exactly those of the packed entry points,
-/// and [`perturb`] applies once per element chain, so every caller stays
-/// bit-identical no matter which path dispatched it.
+/// executed on the active [`crate::simd`] path (bit-identical to scalar
+/// on every path — distinct output elements are independent chains, and
+/// the SIMD lanes preserve each chain's FMA order). Fault injection
+/// applies once per element chain *after* the core, so every caller
+/// stays bit-identical no matter which path dispatched it.
 #[inline]
 #[allow(clippy::too_many_arguments)] // nine scalars beat a one-use struct on this hot path
 fn mma_f64_m8n8k4_strided_core(
@@ -94,19 +88,15 @@ fn mma_f64_m8n8k4_strided_core(
     c0: usize,
     ldc: usize,
 ) {
-    // Fixed-size row views hoist every bounds check out of the FMA
-    // loops (one check per row slice instead of three per FMA).
-    let br: [&[f64; 8]; 4] =
-        std::array::from_fn(|kk| b[b0 + kk * ldb..b0 + kk * ldb + 8].try_into().unwrap());
-    for i in 0..8 {
-        let ar: &[f64; 4] = a[a0 + i * lda..a0 + i * lda + 4].try_into().unwrap();
-        let cr: &mut [f64; 8] = (&mut c[c0 + i * ldc..c0 + i * ldc + 8]).try_into().unwrap();
-        for (j, out) in cr.iter_mut().enumerate() {
-            let mut acc = *out;
-            for (kk, &av) in ar.iter().enumerate() {
-                acc = av.mul_add(br[kk][j], acc);
+    crate::simd::mma_f64_m8n8k4_strided(a, a0, lda, b, b0, ldb, c, c0, ldc);
+    if perturb_enabled() {
+        // Each output element closed its FMA chain exactly once above,
+        // so the one-ulp flip lands once per chain — the same effect as
+        // the pre-SIMD per-element `perturb(acc)` in the scalar loop.
+        for i in 0..8 {
+            for out in &mut c[c0 + i * ldc..c0 + i * ldc + 8] {
+                *out = flip_last_ulp(*out);
             }
-            *out = perturb(acc);
         }
     }
 }

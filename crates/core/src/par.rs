@@ -38,13 +38,14 @@ pub fn max_workers() -> usize {
     MAX_WORKERS.load(Ordering::Relaxed)
 }
 
-/// Number of worker threads to use for `n` independent work items.
-pub fn workers_for(n: usize) -> usize {
-    if n <= 1 {
-        return 1;
-    }
+/// The job count the pool actually runs with: the explicit cap when one
+/// is set, otherwise one worker per available core. This is the single
+/// source of truth for every "effective jobs" startup log line — the
+/// sweep CLI reports this value, so what is printed is what
+/// [`workers_for`] hands the pool.
+pub fn effective_workers() -> usize {
     let cap = MAX_WORKERS.load(Ordering::Relaxed);
-    let limit = if cap == 0 {
+    if cap == 0 {
         // Uncapped: one worker per available core (resolved once per
         // process — see `pool::host_parallelism`).
         crate::pool::host_parallelism()
@@ -53,8 +54,15 @@ pub fn workers_for(n: usize) -> usize {
         // exceed the core count so `--jobs N` exercises real multi-thread
         // schedules (and their equivalence tests) on small machines.
         cap
-    };
-    limit.min(n)
+    }
+}
+
+/// Number of worker threads to use for `n` independent work items.
+pub fn workers_for(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    effective_workers().min(n)
 }
 
 /// Map `f` over `0..n` in parallel, collecting results in index order.
@@ -280,5 +288,19 @@ mod tests {
         assert_eq!(workers_for(0), 1);
         assert_eq!(workers_for(1), 1);
         assert!(workers_for(100) >= 1);
+    }
+
+    #[test]
+    fn effective_workers_tracks_the_cap() {
+        let _guard = crate::pool::cap_lock();
+        let prev = set_max_workers(3);
+        assert_eq!(effective_workers(), 3);
+        assert_eq!(workers_for(100), 3);
+        set_max_workers(0);
+        // Uncapped: the pool's host-parallelism resolution, and
+        // workers_for hands out exactly that (modulo the item count).
+        assert_eq!(effective_workers(), crate::pool::host_parallelism());
+        assert_eq!(workers_for(usize::MAX), effective_workers());
+        set_max_workers(prev);
     }
 }

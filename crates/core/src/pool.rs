@@ -217,8 +217,9 @@ fn worker_loop() {
 /// Serialize tests that mutate the process-wide worker cap or assert on
 /// the pool's size; the pool is a process singleton, so such tests would
 /// otherwise race each other under the multi-threaded test harness.
-#[cfg(test)]
-pub(crate) fn cap_lock() -> std::sync::MutexGuard<'static, ()> {
+/// `pub` (not `cfg(test)`) so downstream crates' test suites can take
+/// the same lock — it guards a process singleton, not a crate one.
+pub fn cap_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }

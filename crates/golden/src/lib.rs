@@ -16,7 +16,7 @@
 //!    instruction/byte counters, **relative-epsilon** for simulated
 //!    times/energy/EDP, and **ordinal** for who-wins/limiter/quadrant
 //!    claims;
-//! 3. [`diff`] — the tolerance-aware differ producing per-artifact
+//! 3. [`mod@diff`] — the tolerance-aware differ producing per-artifact
 //!    pass/fail with the offending cells.
 //!
 //! The artifact *builders* live in `cubie-bench` (they need the sweep

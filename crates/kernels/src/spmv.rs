@@ -255,23 +255,13 @@ fn run_essential(fmt: &DaspFormat, x: &[f64]) -> Vec<f64> {
 }
 
 /// Baseline functional path: CSR-vector — 32 lanes stride a row, fused
-/// partials, shuffle-tree combine (cuSPARSE-style).
+/// partials, shuffle-tree combine (cuSPARSE-style). The per-row dot
+/// product runs on the active `cubie_core::simd` path (bit-identical to
+/// scalar on every path).
 fn run_baseline(m: &Csr, x: &[f64]) -> Vec<f64> {
     par::par_map(m.rows, |r| {
         let (cols, vals) = m.row(r);
-        let mut lanes = [0.0f64; 32];
-        for (i, (&c, &v)) in cols.iter().zip(vals).enumerate() {
-            let l = i % 32;
-            lanes[l] = v.mul_add(x[c as usize], lanes[l]);
-        }
-        let mut width = 16;
-        while width >= 1 {
-            for l in 0..width {
-                lanes[l] += lanes[l + width];
-            }
-            width /= 2;
-        }
-        lanes[0]
+        cubie_core::simd::spmv_csr_row(vals, cols, x)
     })
 }
 

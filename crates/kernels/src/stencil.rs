@@ -20,6 +20,7 @@
 
 use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
+use cubie_core::simd::{self, StarTap};
 use cubie_core::{par, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
@@ -378,14 +379,54 @@ fn mma_chain_kx8(a: &[f64; 96], b: &[f64; 96], c: &mut [f64; 64], ctr: &mut OpCo
     }
 }
 
+/// One grid row as a slice — or a shared all-zeros row for out-of-grid
+/// neighbour coordinates, so every output row of the baseline stencil
+/// vectorizes with the same tap structure (the zero row reproduces the
+/// zero-padding boundary convention bit-exactly: `w·(0+0)` contributes
+/// the same `+0.0` the scalar `at()` closure folds in).
+#[allow(clippy::too_many_arguments)] // internal row-view helper on the hot path
+fn grid_row<'a>(
+    x: &'a [f64],
+    zeros: &'a [f64],
+    plane: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    z: i64,
+    y: i64,
+) -> &'a [f64] {
+    if z < 0 || y < 0 || z >= nz as i64 || y >= ny as i64 {
+        zeros
+    } else {
+        &x[z as usize * plane + y as usize * nx..][..nx]
+    }
+}
+
 /// Baseline functional path: per-point fused star (DRStencil's data-reuse
-/// tiling changes traffic, not numerics).
+/// tiling changes traffic, not numerics). Interior columns of each row
+/// run on the active `cubie_core::simd` path as one [`simd::star_row`]
+/// per output row (independent output points in lanes, per-point op
+/// order preserved → bit-identical to scalar); the `radius` border
+/// columns keep the scalar per-point loop.
 fn run_baseline(case: &StencilCase, x: &[f64]) -> Vec<f64> {
     let (nz, ny, nx) = case.dims;
     let co = Coefficients::diffusion(case.kind);
+    let rad = match case.kind {
+        StencilKind::Star2D2R => 2usize,
+        StencilKind::Star2D1R | StencilKind::Star3D1R => 1,
+    };
     let plane = ny * nx;
+    let zeros = vec![0.0f64; nx];
+    // Degenerate-width grids (nx ≤ 2·rad) have no interior: lo == hi
+    // makes the border loop cover every column.
+    let (lo, hi) = if nx > 2 * rad {
+        (rad, nx - rad)
+    } else {
+        (0, 0)
+    };
     let mut out = vec![0.0f64; x.len()];
     par::par_chunks_mut(&mut out, plane, |z, out_plane| {
+        let row = |zz: i64, y: i64| grid_row(x, &zeros, plane, nx, ny, nz, zz, y);
         let at = |y: i64, xx: i64| -> f64 {
             if y < 0 || xx < 0 || y >= ny as i64 || xx >= nx as i64 {
                 0.0
@@ -393,29 +434,64 @@ fn run_baseline(case: &StencilCase, x: &[f64]) -> Vec<f64> {
                 x[z * plane + y as usize * nx + xx as usize]
             }
         };
-        for y in 0..ny as i64 {
-            for xx in 0..nx as i64 {
-                let mut v = co.center * at(y, xx);
-                v = co.axis_y.mul_add(at(y - 1, xx) + at(y + 1, xx), v);
-                v = co.axis_x.mul_add(at(y, xx - 1) + at(y, xx + 1), v);
+        let zi = z as i64;
+        for y in 0..ny {
+            let yi = y as i64;
+            if lo < hi {
+                // Tap order = the scalar per-point op order below.
+                let cr = row(zi, yi);
+                let mut taps = Vec::with_capacity(5);
+                taps.push(StarTap {
+                    weight: co.axis_y,
+                    a: &row(zi, yi - 1)[lo..hi],
+                    b: &row(zi, yi + 1)[lo..hi],
+                });
+                taps.push(StarTap {
+                    weight: co.axis_x,
+                    a: &cr[lo - 1..hi - 1],
+                    b: &cr[lo + 1..hi + 1],
+                });
                 if case.kind == StencilKind::Star2D2R {
-                    v = co.axis_2.mul_add(at(y - 2, xx) + at(y + 2, xx), v);
-                    v = co.axis_2.mul_add(at(y, xx - 2) + at(y, xx + 2), v);
+                    taps.push(StarTap {
+                        weight: co.axis_2,
+                        a: &row(zi, yi - 2)[lo..hi],
+                        b: &row(zi, yi + 2)[lo..hi],
+                    });
+                    taps.push(StarTap {
+                        weight: co.axis_2,
+                        a: &cr[lo - 2..hi - 2],
+                        b: &cr[lo + 2..hi + 2],
+                    });
                 }
                 if case.kind == StencilKind::Star3D1R {
-                    let below = if z > 0 {
-                        x[(z - 1) * plane + (y as usize) * nx + xx as usize]
-                    } else {
-                        0.0
-                    };
-                    let above = if z + 1 < nz {
-                        x[(z + 1) * plane + (y as usize) * nx + xx as usize]
-                    } else {
-                        0.0
-                    };
+                    taps.push(StarTap {
+                        weight: co.axis_z,
+                        a: &row(zi - 1, yi)[lo..hi],
+                        b: &row(zi + 1, yi)[lo..hi],
+                    });
+                }
+                simd::star_row(
+                    co.center,
+                    &cr[lo..hi],
+                    &taps,
+                    &mut out_plane[y * nx + lo..y * nx + hi],
+                );
+            }
+            for xx in (0..lo).chain(hi..nx) {
+                let xx = xx as i64;
+                let mut v = co.center * at(yi, xx);
+                v = co.axis_y.mul_add(at(yi - 1, xx) + at(yi + 1, xx), v);
+                v = co.axis_x.mul_add(at(yi, xx - 1) + at(yi, xx + 1), v);
+                if case.kind == StencilKind::Star2D2R {
+                    v = co.axis_2.mul_add(at(yi - 2, xx) + at(yi + 2, xx), v);
+                    v = co.axis_2.mul_add(at(yi, xx - 2) + at(yi, xx + 2), v);
+                }
+                if case.kind == StencilKind::Star3D1R {
+                    let below = row(zi - 1, yi)[xx as usize];
+                    let above = row(zi + 1, yi)[xx as usize];
                     v = co.axis_z.mul_add(below + above, v);
                 }
-                out_plane[(y as usize) * nx + xx as usize] = v;
+                out_plane[y * nx + xx as usize] = v;
             }
         }
     });

@@ -277,7 +277,9 @@ fn run_cmd(rest: &[&String]) {
         precisions: vec![cubie::kernels::Precision::F64],
         sparse_scale: ss,
         graph_scale: gs,
-        jobs: None,
+        // Honour CUBIE_JOBS (and its parse warning) like every other
+        // sweep entry point — a literal `None` here silently ignored it.
+        ..SweepConfig::default()
     };
     let sweep = SweepRunner::new(cfg).run();
     let Some(first) = sweep.cells.first() else {
@@ -709,6 +711,10 @@ fn bench_smoke_cmd(rest: &[&String]) {
             p.phase, p.calls, p.busy_ms
         );
     }
+    println!(
+        "  simd path {}: {:.2}x vs scalar (strided MMA core)",
+        result.simd_path, result.simd_ratio
+    );
     let out = report::results_dir().join("BENCH_sweep.json");
     std::fs::write(&out, result.to_json().to_pretty_string()).expect("write BENCH_sweep.json");
     println!("wrote {}", out.display());
@@ -776,7 +782,9 @@ fn profile_cmd(rest: &[&String]) {
     println!(
         "profiling {} workload(s), jobs {}…",
         cfg.workloads.len(),
-        cfg.jobs.map_or("auto".to_string(), |j| j.to_string())
+        // The resolved count the pool will actually run with, so this
+        // line and the pool agree (previously printed "auto").
+        cfg.effective_jobs()
     );
 
     // A private cold cache, so case preparation is part of the profile

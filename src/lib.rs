@@ -18,7 +18,7 @@
 //! * [`graph`] — graphs, bitmap slice-sets, synthetic graph generators.
 //! * [`kernels`] — the ten workloads and their variants.
 //! * [`analysis`] — PCA, coverage, quadrants, report rendering.
-//! * [`bench`] — the parallel cached sweep engine every figure/table
+//! * [`mod@bench`] — the parallel cached sweep engine every figure/table
 //!   harness projects from (`bench::sweep`), plus the canonical artifact
 //!   builders (`bench::artifacts`) and the perf smoke harness
 //!   (`bench::smoke`).

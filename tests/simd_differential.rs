@@ -1,0 +1,334 @@
+//! Cross-path SIMD differential suite: every compiled-and-supported
+//! `cubie_core::simd` path must produce **bit-identical** outputs to the
+//! scalar reference, for random shapes (aligned, ragged, empty-row CSR,
+//! single-element stencil rows) and for every precision.
+//!
+//! Two tiers:
+//!
+//! 1. property tests drive the three vectorized primitives directly
+//!    through their `_on(path, …)` entry points, comparing every
+//!    supported path against [`SimdPath::Scalar`] in-process;
+//! 2. a subprocess test re-runs a kernel-level digest (SpMV and stencil
+//!    baselines in FP64, tiled MMAs in FP64/FP16/BF16/TF32) under each
+//!    forced `CUBIE_SIMD` value — the dispatch decision is a per-process
+//!    `OnceLock`, so forcing requires a fresh process — asserting the
+//!    digests agree *and* that the dispatch log line names the forced
+//!    path (a silent scalar fallback fails the test, not just CI).
+//!
+//! Regression seeds live in `proptest-regressions/simd_differential.txt`
+//! and replay before the random cases.
+
+use cubie::core::mma::{mma_tiled_f64, mma_tiled_mixed};
+use cubie::core::simd::{self, SimdPath, StarTap};
+use cubie::core::{LcgF64, MmaGen, OpCounters, Precision};
+use proptest::prelude::*;
+
+/// FNV-1a over the raw bits of a float slice: one digest pinning every
+/// output bit (any single-bit divergence changes it).
+fn digest_f64(vals: &[f64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for v in vals {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01B3);
+        }
+    }
+    h
+}
+
+/// [`digest_f64`] for the `f32` accumulators of the mixed-precision MMAs.
+fn digest_f32(vals: &[f32]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for v in vals {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01B3);
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Strided MMA core: random (possibly ragged) strides and offsets.
+    /// Every supported path must reproduce the scalar bits of both the
+    /// written 8×8 block and the untouched gap columns.
+    #[test]
+    fn mma_strided_core_is_bit_identical_across_paths(
+        (a0, lda) in (0usize..8, 4usize..20),
+        (b0, ldb) in (0usize..8, 8usize..24),
+        (c0, ldc) in (0usize..8, 8usize..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = LcgF64::new(seed + 1);
+        let a = rng.vec(a0 + 8 * lda);
+        let b = rng.vec(b0 + 4 * ldb + 8);
+        let c_init = rng.vec(c0 + 8 * ldc + 8);
+        let run = |p: SimdPath| {
+            let mut c = c_init.clone();
+            simd::mma_f64_m8n8k4_strided_on(p, &a, a0, lda, &b, b0, ldb, &mut c, c0, ldc);
+            c
+        };
+        let reference = run(SimdPath::Scalar);
+        for p in simd::supported_paths() {
+            let got = run(p);
+            prop_assert_eq!(
+                digest_f64(&got), digest_f64(&reference),
+                "path {} diverged from scalar (lda {} ldb {} ldc {})",
+                p.label(), lda, ldb, ldc
+            );
+        }
+    }
+
+    /// CSR SpMV row dot product: row lengths straddle the 32-lane block
+    /// boundary (empty rows, single elements, exact multiples, ragged
+    /// tails) with repeated and unordered column indices.
+    #[test]
+    fn spmv_rows_are_bit_identical_across_paths(
+        nnz in prop_oneof![Just(0usize), Just(1), Just(31), Just(32), Just(64), 2usize..97],
+        xlen in 1usize..300,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = LcgF64::new(seed + 1);
+        let vals = rng.vec(nnz);
+        let x = rng.vec(xlen);
+        let cols: Vec<u32> = (0..nnz)
+            .map(|i| ((i as u64 * 2654435761 + seed) % xlen as u64) as u32)
+            .collect();
+        let reference = simd::spmv_csr_row_on(SimdPath::Scalar, &vals, &cols, &x);
+        for p in simd::supported_paths() {
+            let got = simd::spmv_csr_row_on(p, &vals, &cols, &x);
+            prop_assert_eq!(
+                got.to_bits(), reference.to_bits(),
+                "path {} diverged from scalar (nnz {} xlen {})",
+                p.label(), nnz, xlen
+            );
+        }
+    }
+
+    /// Stencil star row: row widths from a single element through
+    /// several vector blocks plus tails, with one to four taps (the 2-D,
+    /// radius-2 and 3-D shapes).
+    #[test]
+    fn star_rows_are_bit_identical_across_paths(
+        n in prop_oneof![Just(1usize), Just(2), Just(7), Just(8), 1usize..70],
+        ntaps in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = LcgF64::new(seed + 1);
+        let center = rng.vec(n);
+        let cw = rng.vec(1)[0];
+        let weights = rng.vec(ntaps);
+        let rows: Vec<(Vec<f64>, Vec<f64>)> =
+            (0..ntaps).map(|_| (rng.vec(n), rng.vec(n))).collect();
+        let run = |p: SimdPath| {
+            let taps: Vec<StarTap> = rows
+                .iter()
+                .zip(&weights)
+                .map(|((a, b), &weight)| StarTap { weight, a, b })
+                .collect();
+            let mut out = vec![0.0f64; n];
+            simd::star_row_on(p, cw, &center, &taps, &mut out);
+            out
+        };
+        let reference = run(SimdPath::Scalar);
+        for p in simd::supported_paths() {
+            let got = run(p);
+            prop_assert_eq!(
+                digest_f64(&got), digest_f64(&reference),
+                "path {} diverged from scalar (n {} taps {})",
+                p.label(), n, ntaps
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel-level forced-path digests. `active_path()` resolves once per
+// process, so each forcing runs this same test binary in a subprocess
+// against the `#[ignore]`d probe below.
+// ---------------------------------------------------------------------
+
+/// Digest the kernels that route through the dispatched (not `_on`)
+/// SIMD entry points, plus every mixed precision: SpMV baseline over a
+/// CSR with empty/ragged/long rows, all three stencil shapes (including
+/// a degenerate-width grid with no vectorizable interior), the FP64
+/// tiled MMA, and FP16/BF16/TF32 tiled MMAs.
+fn kernel_digest() -> u64 {
+    use cubie::kernels::stencil::{self, StencilCase, StencilKind};
+    use cubie::kernels::{spmv, Variant};
+    use cubie::sparse::{Coo, Csr};
+
+    let mut h: u64 = 0;
+    let mut rng = LcgF64::new(20_260_808);
+
+    // SpMV: 40×50, row r holds r % 37 nonzeros — rows 0 and 37+ are
+    // empty, row 36 spans a full 32-lane block plus a tail.
+    let mut coo = Coo::new(40, 50);
+    for r in 0..40usize {
+        for i in 0..(r % 37) {
+            coo.push(r, (r * 7 + i * 11) % 50, rng.vec(1)[0]);
+        }
+    }
+    let m = Csr::from_coo(coo);
+    let x = rng.vec(50);
+    let (y, _) = spmv::run(&m, &x, Variant::Baseline);
+    h ^= digest_f64(&y);
+
+    // Stencils: each shape once, plus a 3-wide radius-2 grid whose rows
+    // are entirely border (the scalar column loop covers everything).
+    for case in [
+        StencilCase {
+            kind: StencilKind::Star2D1R,
+            dims: (1, 13, 17),
+        },
+        StencilCase {
+            kind: StencilKind::Star2D2R,
+            dims: (1, 11, 19),
+        },
+        StencilCase {
+            kind: StencilKind::Star2D2R,
+            dims: (1, 9, 3),
+        },
+        StencilCase {
+            kind: StencilKind::Star3D1R,
+            dims: (3, 7, 12),
+        },
+    ] {
+        let (nz, ny, nx) = case.dims;
+        let grid = rng.vec(nz * ny * nx);
+        let (out, _) = stencil::run(&case, &grid, Variant::Baseline);
+        h = h.rotate_left(11) ^ digest_f64(&out);
+    }
+
+    // Tiled MMAs: FP64 routes through the dispatched strided core;
+    // the reduced precisions pin the mixed accumulation chains under
+    // every forcing (they must not care which path is active).
+    let mut ctr = OpCounters::new();
+    let (mm, nn, kk) = (24, 16, 20);
+    let a = rng.vec(mm * kk);
+    let b = rng.vec(kk * nn);
+    let mut c = vec![0.0f64; mm * nn];
+    mma_tiled_f64(&a, &b, &mut c, mm, nn, kk, &mut ctr);
+    h = h.rotate_left(11) ^ digest_f64(&c);
+    for precision in [Precision::F16, Precision::Bf16, Precision::Tf32] {
+        for gen in [MmaGen::Volta, MmaGen::Ampere] {
+            let aq: Vec<f64> = a.iter().map(|&v| precision.quantize(v)).collect();
+            let bq: Vec<f64> = b.iter().map(|&v| precision.quantize(v)).collect();
+            let mut cq = vec![0.0f32; mm * nn];
+            mma_tiled_mixed(
+                precision, gen, &aq, &bq, &mut cq, mm, nn, kk, false, &mut ctr,
+            );
+            h = h.rotate_left(11) ^ digest_f32(&cq);
+        }
+    }
+    h
+}
+
+#[test]
+#[ignore = "forced-path probe: run in a CUBIE_SIMD subprocess by the digest test"]
+fn forced_path_probe() {
+    // stdout is captured by the harness unless the test fails; print the
+    // digest through stderr, which also carries the dispatch log line.
+    eprintln!("kernel digest: {:#018x}", kernel_digest());
+    assert_eq!(simd::active_path().label(), {
+        let forced = std::env::var("CUBIE_SIMD").expect("probe runs under CUBIE_SIMD");
+        let parsed = SimdPath::parse(&forced).expect("probe forces a valid path");
+        parsed.label()
+    });
+}
+
+/// Run the probe with `CUBIE_SIMD=path`; return (digest line, stderr).
+fn run_probe(path: SimdPath) -> (String, String) {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(&exe)
+        .args([
+            "--exact",
+            "forced_path_probe",
+            "--include-ignored",
+            "--test-threads",
+            "1",
+            // Without this, libtest swallows the probe's stderr (digest
+            // and dispatch lines) on success.
+            "--nocapture",
+        ])
+        .env("CUBIE_SIMD", path.label())
+        .output()
+        .expect("spawn probe subprocess");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        out.status.success(),
+        "probe failed under CUBIE_SIMD={}:\n{stderr}\n{}",
+        path.label(),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let digest = stderr
+        .lines()
+        .find(|l| l.starts_with("kernel digest: "))
+        .unwrap_or_else(|| {
+            panic!(
+                "no digest line under CUBIE_SIMD={}:\n{stderr}",
+                path.label()
+            )
+        })
+        .to_string();
+    (digest, stderr)
+}
+
+/// Every supported path, forced end-to-end through the real kernels,
+/// produces the same output bits — and really ran (the dispatch log
+/// line must name the forced path, so a silent fallback cannot pass).
+#[test]
+fn forced_paths_produce_identical_kernel_digests() {
+    let mut digests = Vec::new();
+    for path in simd::supported_paths() {
+        let (digest, stderr) = run_probe(path);
+        let announce = format!("cubie: simd path {} (forced via CUBIE_SIMD)", path.label());
+        assert!(
+            stderr.contains(&announce),
+            "probe under CUBIE_SIMD={} never announced `{announce}`:\n{stderr}",
+            path.label()
+        );
+        digests.push((path, digest));
+    }
+    let (_, reference) = &digests[0];
+    for (path, digest) in &digests {
+        assert_eq!(
+            digest,
+            reference,
+            "kernel digest diverged on forced path {}",
+            path.label()
+        );
+    }
+}
+
+/// Garbage `CUBIE_SIMD` values warn (PR 3 convention) and fall back to
+/// detection instead of dying or silently going scalar.
+#[test]
+fn garbage_cubie_simd_warns_and_falls_back() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(&exe)
+        .args([
+            "--exact",
+            "forced_path_probe",
+            "--include-ignored",
+            "--test-threads",
+            "1",
+            "--nocapture",
+        ])
+        .env("CUBIE_SIMD", "avx1024")
+        .output()
+        .expect("spawn probe subprocess");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The probe itself fails (it asserts a *valid* forced path) but the
+    // process must have warned and announced an auto-detected path first.
+    assert!(
+        stderr.contains("warning: ignoring CUBIE_SIMD=avx1024: not a valid value"),
+        "missing warn-on-unparseable line:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("(auto-detected)"),
+        "garbage override must fall back to detection:\n{stderr}"
+    );
+}

@@ -6,12 +6,22 @@
 //! `criterion_group!`, `criterion_main!` — as a small wall-clock
 //! harness: each benchmark is warmed up once, run for up to the
 //! configured sample count or measurement budget, and reported as
-//! median ns/iter on stdout. No statistics, plots or baselines; see
-//! README, "Offline dependencies", for swapping the real crate in.
+//! median ns/iter on stdout. No statistics or plots; see README,
+//! "Offline dependencies", for swapping the real crate in. Two hooks
+//! the CI perf jobs rely on:
+//!
+//! * `criterion_main!` forwards non-flag CLI arguments as substring
+//!   filters (real criterion's positional filter), so
+//!   `cargo bench -- simd` runs only the simd groups;
+//! * when `CUBIE_CRITERION_JSON` names a file, every completed
+//!   benchmark rewrites it with the full result list
+//!   (`cubie-criterion-baseline/v1`) — the artifact the `bench-compile`
+//!   CI job uploads as the per-run perf baseline.
 
 #![warn(missing_docs)]
 
 use std::marker::PhantomData;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -104,7 +114,62 @@ impl<M> BenchmarkGroup<'_, M> {
     pub fn finish(self) {}
 }
 
+/// Benchmark-name substring filters (empty: run everything). Injected by
+/// the `criterion_main!`-generated `main` from its CLI arguments — NOT
+/// read from `std::env::args()` here, so library unit tests (which see
+/// the test harness's own filter arguments) are unaffected.
+fn cli_filters() -> &'static Mutex<Vec<String>> {
+    static FILTERS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    FILTERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Install benchmark-name filters (substring match, any-of). Called by
+/// the `criterion_main!` expansion with the positional CLI arguments;
+/// callable directly from custom harness mains.
+pub fn set_cli_filters(filters: Vec<String>) {
+    *cli_filters().lock().unwrap_or_else(|e| e.into_inner()) = filters;
+}
+
+fn should_run(label: &str) -> bool {
+    let filters = cli_filters().lock().unwrap_or_else(|e| e.into_inner());
+    filters.is_empty() || filters.iter().any(|f| label.contains(f.as_str()))
+}
+
+/// Completed results of this process, in run order — the source of the
+/// `CUBIE_CRITERION_JSON` document (rewritten whole after every
+/// benchmark, so even an interrupted run leaves a valid file).
+fn results() -> &'static Mutex<Vec<(String, f64, usize)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64, usize)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_result(label: &str, ns_per_iter: f64, samples: usize) {
+    let Ok(path) = std::env::var("CUBIE_CRITERION_JSON") else {
+        return;
+    };
+    let mut all = results().lock().unwrap_or_else(|e| e.into_inner());
+    all.push((label.to_string(), ns_per_iter, samples));
+    let mut doc =
+        String::from("{\n  \"schema\": \"cubie-criterion-baseline/v1\",\n  \"benchmarks\": [");
+    for (i, (name, ns, n)) in all.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        // Labels are bench identifiers (no quotes/backslashes to escape).
+        doc.push_str(&format!(
+            "\n    {{\"name\": \"{name}\", \"ns_per_iter\": {ns:.1}, \"samples\": {n}}}"
+        ));
+    }
+    doc.push_str("\n  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("warning: could not write CUBIE_CRITERION_JSON={path}: {e}");
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration, mut f: F) {
+    if !should_run(label) {
+        return;
+    }
     let mut b = Bencher {
         elapsed: Duration::ZERO,
         iters: 0,
@@ -125,6 +190,7 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, budget: Duration
         b.elapsed.as_nanos() as f64 / b.iters as f64
     };
     println!("bench: {label:<48} {per_iter_ns:>14.1} ns/iter ({taken} samples)");
+    record_result(label, per_iter_ns, taken);
 }
 
 /// Times closures passed to [`Bencher::iter`].
@@ -154,11 +220,20 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` running the given groups.
+/// Generate `main` running the given groups. Positional (non-`-`)
+/// CLI arguments become benchmark-name substring filters, matching real
+/// criterion's `cargo bench -- <filter>` behaviour; flag arguments
+/// (`--bench` etc., which cargo forwards) are ignored.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::set_cli_filters(
+                std::env::args()
+                    .skip(1)
+                    .filter(|a| !a.starts_with('-'))
+                    .collect(),
+            );
             $( $group(); )+
         }
     };
@@ -168,8 +243,15 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serialize tests touching the process-global filter list.
+    fn filter_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn harness_runs_and_counts() {
+        let _guard = filter_lock();
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("g");
         g.sample_size(3).measurement_time(Duration::from_millis(50));
@@ -181,5 +263,26 @@ mod tests {
             })
         });
         assert!(calls >= 3, "warm-up + samples should run: {calls}");
+    }
+
+    #[test]
+    fn cli_filters_select_by_substring() {
+        let _guard = filter_lock();
+        set_cli_filters(vec!["simd".to_string()]);
+        assert!(should_run("simd-mma-strided/avx2"));
+        assert!(should_run("gemm-simd"));
+        assert!(!should_run("par_map-dispatch/1024"));
+        // A filtered-out benchmark must not execute at all.
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("unrelated", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert_eq!(calls, 0, "filtered benchmark ran anyway");
+        set_cli_filters(Vec::new());
+        assert!(should_run("anything"));
     }
 }
