@@ -202,7 +202,19 @@ pub fn emit(artifact: &Artifact) -> std::io::Result<(PathBuf, PathBuf)> {
 /// [`emit`], then print the standard `wrote …` trailer of the harness
 /// binaries.
 pub fn emit_and_announce(artifact: &Artifact) {
-    let (csv, json) = emit(artifact).expect("write artifact");
+    // Harness binaries call this straight from `main`; a full disk or a
+    // read-only results/ dir is an operator problem, not a bug — report
+    // it as one diagnostic line and exit nonzero instead of panicking.
+    let (csv, json) = match emit(artifact) {
+        Ok(paths) => paths,
+        Err(e) => {
+            eprintln!(
+                "cubie: error: cannot write artifact `{}`: {e}",
+                artifact.name
+            );
+            std::process::exit(1);
+        }
+    };
     println!("\nwrote {} and {}", csv.display(), json.display());
 }
 

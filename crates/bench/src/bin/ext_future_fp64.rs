@@ -43,7 +43,14 @@ fn main() {
             continue;
         };
         let t_real = cell.time_s();
-        let t_hyp = sweep.time_on(&hyp, w, 2, Variant::Tc).unwrap().total_s;
+        let Some(hyp_timing) = sweep.time_on(&hyp, w, 2, Variant::Tc) else {
+            eprintln!(
+                "cubie: error: no TC trace for {} case 2 to retime on the hypothetical device",
+                w.spec().name
+            );
+            std::process::exit(1);
+        };
+        let t_hyp = hyp_timing.total_s;
         let gain = t_real / t_hyp;
         gains.push(gain);
         rows.push(vec![

@@ -334,6 +334,40 @@ impl SweepConfig {
             None => (0..n_cases).collect(),
         }
     }
+
+    /// The canonical request identity of this configuration — the
+    /// keyed-request API the `cubied` content-addressed store hangs off.
+    ///
+    /// Two configurations produce bit-identical [`Sweep::to_artifact`]
+    /// payloads iff their keys are equal: every axis that shapes the
+    /// result (workloads, variant/case filters, devices, precisions,
+    /// scales — order-sensitive, because cell order is) is spelled out,
+    /// while `jobs` is deliberately **excluded** — the worker cap changes
+    /// wall-clock only, never a bit of output (`tests/pool_determinism`),
+    /// so requests differing only in `jobs` dedup onto one store entry.
+    pub fn cache_key(&self) -> String {
+        let join = |parts: Vec<String>| parts.join(",");
+        let wl = join(
+            self.workloads
+                .iter()
+                .map(|w| w.spec().name.into())
+                .collect(),
+        );
+        let var = match &self.variants {
+            None => "*".to_string(),
+            Some(vs) => join(vs.iter().map(|v| v.label().to_ascii_lowercase()).collect()),
+        };
+        let dev = join(self.devices.iter().map(|d| d.name.clone()).collect());
+        let case = match &self.cases {
+            None => "*".to_string(),
+            Some(cs) => join(cs.iter().map(|c| c.to_string()).collect()),
+        };
+        let prec = join(self.precisions.iter().map(|p| p.label().into()).collect());
+        format!(
+            "wl={wl};var={var};dev={dev};case={case};prec={prec};sparse={};graph={}",
+            self.sparse_scale, self.graph_scale
+        )
+    }
 }
 
 /// One timed cell of the sweep cross-product.
@@ -439,6 +473,50 @@ impl Sweep {
         v: Variant,
     ) -> Option<WorkloadTiming> {
         self.trace(w, case_idx, v).map(|t| time_workload(device, t))
+    }
+
+    /// Project the swept cells into a canonical
+    /// [`cubie_golden::Artifact`] — the serializable,
+    /// golden-differ-comparable payload `cubied` serves and stores.
+    /// Every column is `Class::Exact`: the simulator is
+    /// deterministic, so a store hit must reproduce a fresh run
+    /// bit-for-bit (f64s compared by bits via the canonical
+    /// shortest-round-trip writer), and any drift is a cache-validation
+    /// failure, not tolerable noise. Identity columns are key columns so
+    /// `cubie_golden::diff` reports per-cell rows on mismatch. The
+    /// request key rides in `meta` (bit-compared too), pinning the
+    /// artifact to the configuration that produced it.
+    pub fn to_artifact(&self) -> cubie_golden::Artifact {
+        use cubie_golden::Column;
+        let mut a = cubie_golden::Artifact::new(
+            "sweep",
+            vec![
+                Column::exact("workload").key(),
+                Column::exact("case").key(),
+                Column::exact("variant").key(),
+                Column::exact("precision").key(),
+                Column::exact("device").key(),
+                Column::exact("case_label"),
+                Column::exact("useful"),
+                Column::exact("time_s"),
+            ],
+        )
+        .with_meta("key", self.config.cache_key().as_str())
+        .with_meta("sparse_scale", self.config.sparse_scale as u64)
+        .with_meta("graph_scale", self.config.graph_scale as u64);
+        for c in &self.cells {
+            a.push(vec![
+                c.workload.spec().name.into(),
+                (c.case_idx as u64).into(),
+                c.variant.label().into(),
+                c.precision.label().into(),
+                c.device.as_str().into(),
+                c.case.as_str().into(),
+                c.useful.into(),
+                c.time_s().into(),
+            ]);
+        }
+        a
     }
 
     /// Geomean speedup of variant `a` over `b` on `device` across the
@@ -725,6 +803,59 @@ mod tests {
         assert!(err.contains("tcx"), "{err}");
         let err = SweepConfig::from_cli_args(args(&["--filter", "speed=fast"])).unwrap_err();
         assert!(err.contains("unknown filter key"), "{err}");
+    }
+
+    #[test]
+    fn cache_key_excludes_jobs_and_tracks_every_result_axis() {
+        let base = quick_config();
+        let mut capped = base.clone();
+        capped.jobs = Some(7);
+        assert_eq!(
+            base.cache_key(),
+            capped.cache_key(),
+            "jobs never changes results, so it must not change the key"
+        );
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.cache_key());
+        for term in ["workload=gemm", "variant=tc", "device=h200", "case=2"] {
+            let mut cfg = quick_config();
+            cfg.apply_filter(term).unwrap();
+            assert!(
+                seen.insert(cfg.cache_key()),
+                "{term} did not change the key"
+            );
+        }
+        let mut cfg = quick_config();
+        cfg.sparse_scale = 128;
+        assert!(seen.insert(cfg.cache_key()));
+        cfg.graph_scale = 1024;
+        assert!(seen.insert(cfg.cache_key()));
+        cfg.precisions = vec![Precision::F64, Precision::F16];
+        assert!(seen.insert(cfg.cache_key()));
+    }
+
+    #[test]
+    fn to_artifact_is_bit_deterministic_and_row_per_cell() {
+        let mut cfg = quick_config();
+        cfg.apply_filter("case=1,3").unwrap();
+        let a = SweepRunner::with_cache(cfg.clone(), Arc::new(SweepCache::default()))
+            .run()
+            .to_artifact();
+        let b = SweepRunner::with_cache(cfg.clone(), Arc::new(SweepCache::default()))
+            .run()
+            .to_artifact();
+        assert_eq!(a.rows.len(), 2 * 2 * 4 * 3, "one row per swept cell");
+        // Two cold-cache runs must serialize to the same bytes — the
+        // invariant the content-addressed store's hit path rests on.
+        assert_eq!(
+            a.to_json().to_pretty_string(),
+            b.to_json().to_pretty_string()
+        );
+        cubie_golden::verify_bit_identical(&a, &b).expect("differ must agree");
+        assert_eq!(
+            a.meta.iter().find(|(k, _)| k == "key").map(|(_, v)| v),
+            Some(&cubie_golden::Json::from(cfg.cache_key().as_str()))
+        );
     }
 
     #[test]

@@ -150,8 +150,22 @@ pub fn worker_count() -> usize {
     pool().state.lock().unwrap().threads
 }
 
+/// The pool-sizing announcement for the *current* cap, in the spelling
+/// [`prewarm`] logs. Long-running consumers (`cubied`) re-emit this per
+/// startup banner instead of relying on the once-per-process log.
+pub fn announce_line() -> String {
+    format!(
+        "cubie: worker pool {} helper(s) + submitter ({} host core(s))",
+        desired_helpers(),
+        host_parallelism()
+    )
+}
+
 /// Spawn workers up to the current target without submitting work, so
 /// the first parallel region of a sweep does not pay thread creation.
+/// The first prewarm of the process announces the pool sizing through
+/// [`cubie_obs::log`] — retained for daemon startup banners, echoed to
+/// stderr unless the consumer disabled the echo.
 pub fn prewarm() {
     STARTED.store(true, Ordering::Release);
     let p = pool();
@@ -161,6 +175,11 @@ pub fn prewarm() {
     while st.threads < want {
         st.threads += 1;
         spawn_worker();
+    }
+    drop(st);
+    static ANNOUNCED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    if !ANNOUNCED.swap(true, Ordering::Relaxed) {
+        cubie_obs::log(announce_line());
     }
 }
 

@@ -177,21 +177,40 @@ fn resolve(env: Option<&str>) -> (SimdPath, &'static str, Option<String>) {
     }
 }
 
+/// The resolved dispatch decision plus its announcement line, computed
+/// once per process. The announcement goes through [`cubie_obs::log`]
+/// rather than a raw `eprintln!`: the line still reaches stderr (obs
+/// echoes by default, so the CI forced-path grep keeps its teeth), but a
+/// long-running `cubied` can disable the echo per request handler —
+/// keeping client responses clean JSON — and replay the retained line in
+/// its own per-startup banner via [`dispatch_line`].
+fn resolution() -> &'static (SimdPath, String) {
+    static ACTIVE: OnceLock<(SimdPath, String)> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        let env = std::env::var("CUBIE_SIMD").ok();
+        let (path, how, warning) = resolve(env.as_deref());
+        if let Some(w) = warning {
+            cubie_obs::log(format!("warning: {w}"));
+        }
+        let line = format!("cubie: simd path {} ({how})", path.label());
+        cubie_obs::log(line.clone());
+        (path, line)
+    })
+}
+
 /// The SIMD path every dispatched kernel call uses, resolved once per
 /// process and announced on stderr (`cubie: simd path <name> (<how>)`).
 /// Override with `CUBIE_SIMD`; results are bit-identical either way, so
 /// the override is a perf/test knob, never a correctness one.
 pub fn active_path() -> SimdPath {
-    static ACTIVE: OnceLock<SimdPath> = OnceLock::new();
-    *ACTIVE.get_or_init(|| {
-        let env = std::env::var("CUBIE_SIMD").ok();
-        let (path, how, warning) = resolve(env.as_deref());
-        if let Some(w) = warning {
-            eprintln!("warning: {w}");
-        }
-        eprintln!("cubie: simd path {} ({how})", path.label());
-        path
-    })
+    resolution().0
+}
+
+/// The dispatch announcement line exactly as it was logged (resolving
+/// the path first if nothing has yet). Long-running consumers re-emit
+/// this per startup instead of once per process.
+pub fn dispatch_line() -> &'static str {
+    &resolution().1
 }
 
 /// One neighbour-pair term of a stencil star row: contributes

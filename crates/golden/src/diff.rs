@@ -231,6 +231,31 @@ fn ulp_distance(a: f64, b: f64) -> u64 {
     }
 }
 
+/// Cache-validation oracle: require `actual` to reproduce `golden`
+/// **bit-for-bit**, not merely within tolerance. Runs the regular
+/// [`diff`] first (so a failure names the offending rows/cells in the
+/// familiar report spelling), then compares the canonical
+/// serializations byte-for-byte — catching drift an `Epsilon`/`Ordinal`
+/// column class would have tolerated. This is the store-validation path
+/// of the `cubied` content-addressed result store, where a hit must be
+/// indistinguishable from a fresh run.
+pub fn verify_bit_identical(golden: &Artifact, actual: &Artifact) -> Result<(), String> {
+    let d = diff(golden, actual);
+    if !d.passed() {
+        return Err(DiffReport { artifacts: vec![d] }.render());
+    }
+    let g = golden.to_json().to_pretty_string();
+    let a = actual.to_json().to_pretty_string();
+    if g != a {
+        return Err(format!(
+            "artifact `{}` diffs clean but its canonical serialization differs \
+             (a tolerance-class column absorbed real drift)",
+            golden.name
+        ));
+    }
+    Ok(())
+}
+
 /// The aggregated result of checking a set of artifacts.
 #[derive(Debug, Clone, Default)]
 pub struct DiffReport {
@@ -457,6 +482,24 @@ mod tests {
         // The JSON report carries the same verdicts.
         let doc = r.to_json();
         assert_eq!(doc.get("passed"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn verify_bit_identical_rejects_tolerated_epsilon_drift() {
+        assert!(verify_bit_identical(&base(), &base()).is_ok());
+        // A one-ulp flip in an Exact column fails via the differ, with
+        // the familiar cell report.
+        let mut flipped = base();
+        flipped.rows[0][1] = Json::Float(f64::from_bits(3.119e-13_f64.to_bits() ^ 1));
+        let err = verify_bit_identical(&base(), &flipped).unwrap_err();
+        assert!(err.contains("FAIL  t"), "{err}");
+        // Drift inside the Epsilon tolerance passes the differ but must
+        // still fail bit-identity — the store serves bytes, not bounds.
+        let mut drifted = base();
+        drifted.rows[0][2] = Json::Float(1.0e-3 * (1.0 + 5e-4));
+        assert!(diff(&base(), &drifted).passed());
+        let err = verify_bit_identical(&base(), &drifted).unwrap_err();
+        assert!(err.contains("canonical serialization"), "{err}");
     }
 
     #[test]

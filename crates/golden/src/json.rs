@@ -77,6 +77,14 @@ impl Json {
         }
     }
 
+    /// The integer value, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
     /// The value as a bool.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -30,5 +30,5 @@ pub mod diff;
 pub mod json;
 
 pub use artifact::{Artifact, Class, Column, DEFAULT_EPS, SCHEMA};
-pub use diff::{diff, ArtifactDiff, CellDiff, DiffReport};
+pub use diff::{diff, verify_bit_identical, ArtifactDiff, CellDiff, DiffReport};
 pub use json::{fmt_f64, obj, Json};

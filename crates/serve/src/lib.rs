@@ -1,0 +1,35 @@
+//! # cubie-serve
+//!
+//! `cubied`: the sweep-as-a-service daemon. Lifts the sweep engine's
+//! process-wide memoization into a long-running server so repeated
+//! characterization queries — the million-user traffic pattern — become
+//! O(lookup):
+//!
+//! * [`proto`] — the line-delimited JSON wire protocol over a unix
+//!   socket (`sweep`/`advise`/`profile`/`ping`/`stats`/`shutdown`).
+//! * [`store`] — the content-addressed result store under
+//!   `results/store/`, keyed by `hash(request identity, golden schema
+//!   version, crate version)`, written atomically through the canonical
+//!   golden JSON writer so cache hits are bit-identical to fresh runs,
+//!   and revalidated on startup (the golden differ is the validation
+//!   oracle, reachable on demand via the `verify` request flag).
+//! * [`server`] — the daemon itself: request batching/dedup (N
+//!   concurrent identical requests → one execution), admission control
+//!   (per-request job clamps, bounded pending queue with backpressure),
+//!   per-request `cubie_obs` counters (`serve.hit` / `serve.miss` /
+//!   `serve.dedup` / `serve.queued` / …).
+//!
+//! Start it with `cubie serve`, talk to it with `cubie client` (see
+//! README, "Running cubied").
+
+#![warn(missing_docs)]
+
+pub mod proto;
+#[cfg(unix)]
+pub mod server;
+pub mod store;
+
+pub use proto::{AdviseSpec, Request, SweepSpec, PROTO_VERSION};
+#[cfg(unix)]
+pub use server::{client_request, Daemon, Handle, ServeConfig};
+pub use store::{fnv1a64, Lookup, Store, StoreKey, STORE_SCHEMA};

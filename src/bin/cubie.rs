@@ -31,6 +31,16 @@
 //!                                    --check forces --jobs 1 and exits 1
 //!                                    unless the top-level phase times sum
 //!                                    to within 20% of wall time
+//! cubie serve [opts]                 run cubied, the sweep-as-a-service
+//!                                    daemon: line-delimited JSON over a
+//!                                    unix socket, deduplicated execution,
+//!                                    a content-addressed result store
+//!                                    under results/store/, admission
+//!                                    control with backpressure
+//! cubie client <req> [opts]          talk to a running cubied:
+//!                                    ping|stats|shutdown|sweep|advise|
+//!                                    profile; prints the JSON response,
+//!                                    exits 1 on an error response
 //!
 //! options: --device a100|h200|b200   (default: all three)
 //!          --case N                  Table 2 case index 0–4 (default 2)
@@ -72,6 +82,8 @@ fn main() {
         "golden" => golden_cmd(&rest),
         "bench-smoke" => bench_smoke_cmd(&rest),
         "profile" => profile_cmd(&rest),
+        "serve" => serve_cmd(&rest),
+        "client" => client_cmd(&rest),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command `{other}`\n");
@@ -94,9 +106,29 @@ fn usage() {
          cubie golden record|check|list [--only name,name]\n  \
          cubie bench-smoke [--record]\n  \
          cubie profile [--filter workload=…|variant=…|device=…|case=…] [--jobs N] \
-         [--sparse-scale K] [--graph-scale K] [--check]\n\n\
+         [--sparse-scale K] [--graph-scale K] [--check]\n  \
+         cubie serve [--socket PATH] [--store DIR] [--max-jobs N] [--heavy N] [--queue N]\n  \
+         cubie client ping|stats|shutdown [--socket PATH]\n  \
+         cubie client sweep|profile [--filter …] [--jobs N] [--sparse-scale K] \
+         [--graph-scale K] [--verify] [--socket PATH]\n  \
+         cubie client advise <workload> [--device a100|h200|b200] [--socket PATH]\n\n\
          workloads: gemm pic fft stencil scan reduction bfs gemv spmv spgemm"
     );
+}
+
+/// Print a fatal diagnostic and exit nonzero. The CLI's replacement for
+/// `expect`/`panic!` on user-reachable failure paths — a typo'd path or
+/// a full disk deserves one readable line, not a backtrace.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("cubie: error: {msg}");
+    std::process::exit(1);
+}
+
+/// Write a results file or die with the path in the diagnostic.
+fn write_or_fail(path: &std::path::Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        fail(format!("cannot write {}: {e}", path.display()));
+    }
 }
 
 fn opt<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
@@ -621,9 +653,13 @@ fn golden_record(rest: &[&String]) {
         dir.display()
     );
     for name in golden_selection(rest) {
-        let artifact = artifacts::build(&ctx, name).expect("registry name");
+        let Some(artifact) = artifacts::build(&ctx, name) else {
+            fail(format!("artifact `{name}` missing from the build registry"));
+        };
         let path = dir.join(format!("{name}.json"));
-        artifact.write(&path).expect("write golden");
+        if let Err(e) = artifact.write(&path) {
+            fail(format!("cannot write golden {}: {e}", path.display()));
+        }
         println!(
             "  {name}: {} rows -> {}",
             artifact.rows.len(),
@@ -640,7 +676,9 @@ fn golden_check(rest: &[&String]) {
         let path = dir.join(format!("{name}.json"));
         let diff = match cubie::golden::Artifact::read(&path) {
             Ok(golden) => {
-                let actual = artifacts::build(&ctx, name).expect("registry name");
+                let Some(actual) = artifacts::build(&ctx, name) else {
+                    fail(format!("artifact `{name}` missing from the build registry"));
+                };
                 cubie::golden::diff(&golden, &actual)
             }
             Err(e) => ArtifactDiff {
@@ -658,7 +696,7 @@ fn golden_check(rest: &[&String]) {
     };
     print!("{}", diff_report.render());
     let out = report::results_dir().join("golden_diff.json");
-    std::fs::write(&out, diff_report.to_json().to_pretty_string()).expect("write diff report");
+    write_or_fail(&out, &diff_report.to_json().to_pretty_string());
     println!("wrote {}", out.display());
     if !diff_report.passed() {
         std::process::exit(1);
@@ -716,13 +754,12 @@ fn bench_smoke_cmd(rest: &[&String]) {
         result.simd_path, result.simd_ratio
     );
     let out = report::results_dir().join("BENCH_sweep.json");
-    std::fs::write(&out, result.to_json().to_pretty_string()).expect("write BENCH_sweep.json");
+    write_or_fail(&out, &result.to_json().to_pretty_string());
     println!("wrote {}", out.display());
 
     let baseline_path = artifacts::golden_dir().join("BENCH_sweep.json");
     if record {
-        std::fs::write(&baseline_path, result.to_json().to_pretty_string())
-            .expect("write baseline");
+        write_or_fail(&baseline_path, &result.to_json().to_pretty_string());
         println!("recorded baseline {}", baseline_path.display());
         return;
     }
@@ -840,11 +877,10 @@ fn profile_cmd(rest: &[&String]) {
 
     let results = report::results_dir();
     let trace_path = results.join("profile_trace.json");
-    std::fs::write(
+    write_or_fail(
         &trace_path,
-        cubie::obs::chrome_trace(&spans).to_pretty_string(),
-    )
-    .expect("write profile trace");
+        &cubie::obs::chrome_trace(&spans).to_pretty_string(),
+    );
     println!(
         "wrote {} (open in https://ui.perfetto.dev)",
         trace_path.display()
@@ -875,7 +911,7 @@ fn profile_cmd(rest: &[&String]) {
         ),
     ]);
     let hotspot_path = results.join("profile_hotspots.json");
-    std::fs::write(&hotspot_path, hotspots.to_pretty_string()).expect("write hotspot table");
+    write_or_fail(&hotspot_path, &hotspots.to_pretty_string());
     println!("wrote {}", hotspot_path.display());
 
     if check {
@@ -897,5 +933,119 @@ fn profile_cmd(rest: &[&String]) {
             std::process::exit(1);
         }
         println!("PASS: instrumented phases account for wall time.");
+    }
+}
+
+/// Socket path shared by `serve` and `client` (`--socket`, else the
+/// [`cubie::serve::ServeConfig`] default under `results/`).
+fn socket_path(rest: &[&String]) -> std::path::PathBuf {
+    match opt(rest, "--socket") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => cubie::serve::ServeConfig::default().socket,
+    }
+}
+
+fn parse_usize_opt(rest: &[&String], name: &str) -> Option<usize> {
+    let raw = opt(rest, name)?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => fail(format!(
+            "{name} expects a non-negative integer, got `{raw}`"
+        )),
+    }
+}
+
+fn serve_cmd(rest: &[&String]) {
+    let mut cfg = cubie::serve::ServeConfig {
+        socket: socket_path(rest),
+        ..cubie::serve::ServeConfig::default()
+    };
+    if let Some(dir) = opt(rest, "--store") {
+        cfg.store_dir = std::path::PathBuf::from(dir);
+    }
+    if let Some(n) = parse_usize_opt(rest, "--max-jobs") {
+        cfg.max_jobs = n;
+    }
+    if let Some(n) = parse_usize_opt(rest, "--heavy") {
+        cfg.heavy_slots = n.max(1);
+    }
+    if let Some(n) = parse_usize_opt(rest, "--queue") {
+        cfg.queue_limit = n;
+    }
+    let mut handle = match cubie::serve::Daemon::start(cfg) {
+        Ok(h) => h,
+        Err(e) => fail(format!("cannot start cubied: {e}")),
+    };
+    // Block until a client `shutdown` request stops the accept loop; the
+    // startup banner already went to stderr via `cubie_obs::log`.
+    handle.wait();
+}
+
+/// Build the request JSON for one `cubie client` invocation.
+fn client_build_request(sub: &str, tail: &[&String]) -> cubie::golden::Json {
+    use cubie::serve::proto;
+    match sub {
+        "ping" | "stats" | "shutdown" => proto::simple_request(sub),
+        "sweep" | "profile" => {
+            let mut filters = Vec::new();
+            let mut i = 0;
+            while i < tail.len() {
+                if tail[i].as_str() == "--filter" {
+                    match tail.get(i + 1) {
+                        Some(f) => filters.push((*f).clone()),
+                        None => fail("--filter expects a key=value term"),
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let spec = cubie::serve::SweepSpec {
+                filters,
+                jobs: parse_usize_opt(tail, "--jobs"),
+                sparse_scale: parse_usize_opt(tail, "--sparse-scale"),
+                graph_scale: parse_usize_opt(tail, "--graph-scale"),
+                verify: tail.iter().any(|a| a.as_str() == "--verify"),
+            };
+            spec.to_json(sub)
+        }
+        "advise" => {
+            let Some(wname) = tail.first().filter(|a| !a.starts_with("--")) else {
+                fail("usage: cubie client advise <workload> [--device a100|h200|b200]");
+            };
+            let spec = cubie::serve::AdviseSpec {
+                workload: (*wname).clone(),
+                devices: opt(tail, "--device").map(|d| vec![d.to_string()]),
+                sparse_scale: parse_usize_opt(tail, "--sparse-scale"),
+                graph_scale: parse_usize_opt(tail, "--graph-scale"),
+            };
+            spec.to_json()
+        }
+        other => {
+            fail(format!(
+                "unknown client request `{other}` \
+                 (ping|stats|shutdown|sweep|profile|advise)"
+            ));
+        }
+    }
+}
+
+fn client_cmd(rest: &[&String]) {
+    let Some(sub) = rest.first() else {
+        fail("usage: cubie client ping|stats|shutdown|sweep|profile|advise [opts]");
+    };
+    let tail = &rest[1..];
+    let request = client_build_request(sub, tail);
+    let socket = socket_path(rest);
+    let response = match cubie::serve::client_request(&socket, &request) {
+        Ok(r) => r,
+        Err(e) => fail(format!(
+            "cubied at {} is unreachable: {e} (start it with `cubie serve`)",
+            socket.display()
+        )),
+    };
+    println!("{}", response.to_pretty_string());
+    if response.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,200 @@
+//! End-to-end guarantees of `cubied`, the sweep-as-a-service daemon:
+//! concurrent identical requests deduplicate to a single execution, a
+//! daemon restart serves a pure content-addressed store hit that is
+//! bit-identical to the original computation, and a version-skewed
+//! store entry is invalidated and recomputed rather than served.
+//!
+//! Each test runs its own daemon on a private socket + store under a
+//! unique temp directory, and reads the daemon's per-process `stats`
+//! counters (not the global obs counters, which other tests share).
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+
+use cubie::golden::Json;
+use cubie::serve::{client_request, Daemon, ServeConfig, SweepSpec};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cubied_it_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn cfg_in(dir: &Path, exec_delay_ms: u64) -> ServeConfig {
+    ServeConfig {
+        socket: dir.join("cubied.sock"),
+        store_dir: dir.join("store"),
+        max_jobs: 1,
+        heavy_slots: 1,
+        queue_limit: 16,
+        exec_delay_ms,
+    }
+}
+
+/// The cheapest single-cell request: scan, case 2, TC on H200 at the
+/// deep-test reduced scales.
+fn sweep_request() -> Json {
+    SweepSpec {
+        filters: ["workload=scan", "case=2", "device=h200", "variant=tc"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        jobs: Some(1),
+        sparse_scale: Some(64),
+        graph_scale: Some(512),
+        verify: false,
+    }
+    .to_json("sweep")
+}
+
+fn field<'a>(resp: &'a Json, name: &str) -> &'a Json {
+    resp.get(name)
+        .unwrap_or_else(|| panic!("response missing `{name}`: {}", resp.to_canonical_string()))
+}
+
+fn counter(stats: &Json, name: &str) -> i128 {
+    field(field(stats, "counters"), name)
+        .as_int()
+        .expect("counter is an integer")
+}
+
+#[test]
+fn concurrent_identical_sweeps_execute_once_and_dedup() {
+    let dir = scratch("dedup");
+    let mut handle = Daemon::start(cfg_in(&dir, 800)).expect("daemon");
+    let socket = handle.socket().to_path_buf();
+
+    const N: usize = 4;
+    let barrier = Arc::new(Barrier::new(N));
+    let clients: Vec<_> = (0..N)
+        .map(|_| {
+            let socket = socket.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                client_request(&socket, &sweep_request()).expect("sweep response")
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = clients
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    let stores: Vec<&str> = responses
+        .iter()
+        .map(|r| field(r, "store").as_str().expect("store is a string"))
+        .collect();
+    assert_eq!(
+        stores.iter().filter(|s| **s == "miss").count(),
+        1,
+        "exactly one request executes, saw {stores:?}"
+    );
+    assert_eq!(
+        stores.iter().filter(|s| **s == "dedup").count(),
+        N - 1,
+        "the rest join the in-flight execution, saw {stores:?}"
+    );
+    let payloads: Vec<String> = responses
+        .iter()
+        .map(|r| field(r, "artifact").to_canonical_string())
+        .collect();
+    assert!(
+        payloads.iter().all(|p| *p == payloads[0]),
+        "every deduplicated client must receive the identical payload"
+    );
+
+    let stats = client_request(&socket, &cubie::serve::proto::simple_request("stats"))
+        .expect("stats response");
+    assert_eq!(counter(&stats, "exec"), 1, "one execution for {N} clients");
+    assert_eq!(counter(&stats, "dedup"), (N - 1) as i128);
+    handle.shutdown();
+}
+
+#[test]
+fn restart_serves_a_pure_store_hit_bit_identically() {
+    let dir = scratch("restart");
+
+    let mut first = Daemon::start(cfg_in(&dir, 0)).expect("first daemon");
+    let socket = first.socket().to_path_buf();
+    let cold = client_request(&socket, &sweep_request()).expect("cold sweep");
+    assert_eq!(field(&cold, "store").as_str(), Some("miss"));
+    first.shutdown();
+
+    // A fresh daemon process state over the same store directory: the
+    // result must come back as a pure store hit, with zero executions.
+    let mut second = Daemon::start(cfg_in(&dir, 0)).expect("second daemon");
+    let warm = client_request(&socket, &sweep_request()).expect("warm sweep");
+    assert_eq!(field(&warm, "store").as_str(), Some("hit"));
+
+    let stats = client_request(&socket, &cubie::serve::proto::simple_request("stats"))
+        .expect("stats response");
+    assert_eq!(counter(&stats, "exec"), 0, "a restart hit must not execute");
+    assert_eq!(counter(&stats, "hit"), 1);
+    assert_eq!(counter(&stats, "miss"), 0);
+    second.shutdown();
+
+    // Bit-identical through the canonical writer, and clean through the
+    // golden differ — the store's validation oracle.
+    assert_eq!(
+        field(&cold, "artifact").to_canonical_string(),
+        field(&warm, "artifact").to_canonical_string(),
+        "restart hit diverged from the original computation"
+    );
+    let a = cubie::golden::Artifact::from_json(field(&cold, "artifact")).expect("cold artifact");
+    let b = cubie::golden::Artifact::from_json(field(&warm, "artifact")).expect("warm artifact");
+    cubie::golden::verify_bit_identical(&a, &b).expect("differ agrees the hit is bit-identical");
+}
+
+#[test]
+fn version_skewed_store_entry_is_invalidated_and_recomputed() {
+    let dir = scratch("skew");
+    let mut handle = Daemon::start(cfg_in(&dir, 0)).expect("daemon");
+    let socket = handle.socket().to_path_buf();
+
+    let cold = client_request(&socket, &sweep_request()).expect("cold sweep");
+    assert_eq!(field(&cold, "store").as_str(), Some("miss"));
+
+    // Doctor the stored entry into one written by an older golden
+    // schema. The daemon must treat it as version skew on the next
+    // lookup: invalidate, recompute, re-store.
+    let store_dir = dir.join("store");
+    let entries: Vec<_> = std::fs::read_dir(&store_dir)
+        .expect("store dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    assert_eq!(entries.len(), 1, "one sweep stored exactly one entry");
+    let text = std::fs::read_to_string(&entries[0]).expect("read entry");
+    let skewed = text.replace("golden=cubie-golden/v1", "golden=cubie-golden/v0");
+    assert_ne!(
+        text, skewed,
+        "entry key must carry the golden schema version"
+    );
+    std::fs::write(&entries[0], skewed).expect("write skewed entry");
+
+    let redo = client_request(&socket, &sweep_request()).expect("post-skew sweep");
+    assert_eq!(
+        field(&redo, "store").as_str(),
+        Some("miss"),
+        "a skewed entry must be recomputed, not served"
+    );
+    assert_eq!(
+        field(&cold, "artifact").to_canonical_string(),
+        field(&redo, "artifact").to_canonical_string(),
+        "recomputation must reproduce the original payload"
+    );
+
+    let stats = client_request(&socket, &cubie::serve::proto::simple_request("stats"))
+        .expect("stats response");
+    assert_eq!(counter(&stats, "invalidated"), 1);
+    assert_eq!(counter(&stats, "exec"), 2);
+
+    // The re-stored entry is valid again: the next lookup is a hit.
+    let warm = client_request(&socket, &sweep_request()).expect("warm sweep");
+    assert_eq!(field(&warm, "store").as_str(), Some("hit"));
+    handle.shutdown();
+}

@@ -111,6 +111,44 @@ fn set_max_workers_takes_effect_mid_process() {
 }
 
 #[test]
+fn resizing_the_pool_mid_sweep_keeps_results_bit_identical() {
+    let _g = pool_lock();
+    let prev = settle_to(4);
+    let baseline =
+        SweepRunner::with_cache(small_config(Some(4)), Arc::new(SweepCache::default())).run();
+    // Thrash the worker cap from another thread for the whole duration of
+    // a second cold-cache sweep: workers retire and respawn underneath
+    // the running `par_map` calls, yet chunk results are merged by index,
+    // so every f64 must still land bit-identically.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_resizer = Arc::clone(&stop);
+    let resizer = std::thread::spawn(move || {
+        while !stop_resizer.load(std::sync::atomic::Ordering::Relaxed) {
+            for cap in [1usize, 6, 2, 4] {
+                set_max_workers(cap);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+    });
+    let resized =
+        SweepRunner::with_cache(small_config(Some(4)), Arc::new(SweepCache::default())).run();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    resizer.join().expect("resizer thread");
+    set_max_workers(prev);
+    assert_eq!(baseline.cells.len(), resized.cells.len());
+    for (a, b) in baseline.cells.iter().zip(&resized.cells) {
+        assert_eq!(a, b, "cell diverged under mid-sweep pool resizing");
+    }
+    // The canonical serialization agrees too — the same oracle the
+    // cubied store uses for hit validation.
+    assert_eq!(
+        baseline.to_artifact().to_json().to_pretty_string(),
+        resized.to_artifact().to_json().to_pretty_string(),
+        "canonical sweep artifacts diverged under mid-sweep pool resizing"
+    );
+}
+
+#[test]
 fn one_hundred_par_maps_do_not_leak_threads() {
     let _g = pool_lock();
     let prev = settle_to(4);
