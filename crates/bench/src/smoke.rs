@@ -13,7 +13,13 @@
 //!   generous, because CI machines are noisy and heterogeneous; override
 //!   with `CUBIE_SMOKE_FACTOR`). When the gate trips, the per-phase
 //!   breakdown attributes the regression (generation vs trace vs timing)
-//!   instead of reporting one opaque wall-clock number.
+//!   instead of reporting one opaque wall-clock number;
+//! * hot-loop allocation counts may not exceed
+//!   `CUBIE_SMOKE_ALLOC_FACTOR ×` the baseline (default
+//!   [`DEFAULT_ALLOC_FACTOR`]) — allocations are deterministic per code
+//!   version, so this catches a dropped workspace arena long before it
+//!   shows up in noisy wall time. Baselines recorded before allocation
+//!   telemetry parse as zero and skip the gate (no re-record).
 //!
 //! The sweep runs with a **pinned worker cap** ([`SMOKE_JOBS`], override
 //! `CUBIE_SMOKE_JOBS`) so a baseline recorded on a many-core machine is
@@ -110,6 +116,12 @@ pub struct PhaseBreakdown {
     pub calls: u64,
     /// Summed span duration across workers, milliseconds.
     pub busy_ms: f64,
+    /// Heap allocations performed inside the phase's spans (0 in
+    /// baselines recorded before allocation telemetry, or when the
+    /// counting allocator is not installed).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
 }
 
 /// The result of one smoke run.
@@ -171,6 +183,8 @@ impl SmokeResult {
                                 ("phase", p.phase.as_str().into()),
                                 ("calls", p.calls.into()),
                                 ("busy_ms", p.busy_ms.into()),
+                                ("alloc_count", p.alloc_count.into()),
+                                ("alloc_bytes", p.alloc_bytes.into()),
                             ])
                         })
                         .collect(),
@@ -208,6 +222,11 @@ impl SmokeResult {
                     .get("busy_ms")
                     .and_then(Json::as_f64)
                     .ok_or("phase entry missing `busy_ms`")?,
+                // Optional (added within schema v2): baselines recorded
+                // before allocation telemetry parse as zero allocations,
+                // which also disables the alloc gate — no re-record.
+                alloc_count: p.get("alloc_count").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                alloc_bytes: p.get("alloc_bytes").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             });
         }
         Ok(SmokeResult {
@@ -261,7 +280,9 @@ pub fn phase_rollup(spans: &[cubie_obs::SpanRecord]) -> Vec<PhaseBreakdown> {
             Some(PhaseBreakdown {
                 phase: phase.to_string(),
                 calls,
-                busy_ms: matching.map(|s| s.dur_ns as f64 * 1e-6).sum(),
+                busy_ms: matching.clone().map(|s| s.dur_ns as f64 * 1e-6).sum(),
+                alloc_count: matching.clone().map(|s| s.alloc_count).sum(),
+                alloc_bytes: matching.map(|s| s.alloc_bytes).sum(),
             })
         })
         .collect()
@@ -353,10 +374,45 @@ pub fn smoke_factor() -> f64 {
     crate::env_parse("CUBIE_SMOKE_FACTOR").unwrap_or(DEFAULT_FACTOR)
 }
 
+/// Default allocation-count regression threshold: total hot-loop
+/// allocations may grow this much over the baseline before the gate
+/// fails. Generous, because allocation counts — unlike wall time — are
+/// deterministic per code version but legitimately move with feature
+/// work; the gate exists to catch *order-of-magnitude* churn (a dropped
+/// workspace arena, a per-element `Vec` in a hot loop), not small
+/// honest growth.
+pub const DEFAULT_ALLOC_FACTOR: f64 = 2.0;
+
+/// The allocation threshold factor (`CUBIE_SMOKE_ALLOC_FACTOR` override).
+pub fn smoke_alloc_factor() -> f64 {
+    crate::env_parse("CUBIE_SMOKE_ALLOC_FACTOR").unwrap_or(DEFAULT_ALLOC_FACTOR)
+}
+
+/// Summed allocations across a result's phases.
+fn total_allocs(r: &SmokeResult) -> u64 {
+    r.phases.iter().map(|p| p.alloc_count).sum()
+}
+
 /// Gate `current` against `baseline`: returns the list of failures
 /// (empty = pass). A wall-time failure carries the per-phase attribution
-/// when both sides recorded a breakdown.
+/// when both sides recorded a breakdown. Allocation counts are gated by
+/// [`smoke_alloc_factor`] via [`check_smoke_with_allocs`]; the plain
+/// entry point keeps the alloc gate at its default.
 pub fn check_smoke(current: &SmokeResult, baseline: &SmokeResult, factor: f64) -> Vec<String> {
+    check_smoke_with_allocs(current, baseline, factor, DEFAULT_ALLOC_FACTOR)
+}
+
+/// [`check_smoke`] with an explicit allocation-count factor. The alloc
+/// gate is skipped when either side recorded zero allocations — a
+/// baseline written before allocation telemetry (or by a binary without
+/// the counting allocator) parses as all-zero and must not force a
+/// re-record.
+pub fn check_smoke_with_allocs(
+    current: &SmokeResult,
+    baseline: &SmokeResult,
+    factor: f64,
+    alloc_factor: f64,
+) -> Vec<String> {
     let mut failures = Vec::new();
     if current.cells != baseline.cells {
         failures.push(format!(
@@ -405,6 +461,37 @@ pub fn check_smoke(current: &SmokeResult, baseline: &SmokeResult, factor: f64) -
         }
         failures.push(msg);
     }
+    let (ca, ba) = (total_allocs(current), total_allocs(baseline));
+    if ba > 0 && ca > 0 && ca as f64 > alloc_factor * ba as f64 {
+        let mut msg = format!(
+            "hot-loop allocations regressed: baseline {ba} vs current {ca} \
+             (limit {alloc_factor}×; override with CUBIE_SMOKE_ALLOC_FACTOR)"
+        );
+        for cur in &current.phases {
+            let base = baseline.phases.iter().find(|p| p.phase == cur.phase);
+            match base {
+                Some(b) if b.alloc_count > 0 => {
+                    msg.push_str(&format!(
+                        "\n    phase {:8} baseline {:>10} allocs vs current {:>10} ({:.2}×, \
+                         {} bytes)",
+                        cur.phase,
+                        b.alloc_count,
+                        cur.alloc_count,
+                        cur.alloc_count as f64 / b.alloc_count as f64,
+                        cur.alloc_bytes
+                    ));
+                }
+                _ => {
+                    msg.push_str(&format!(
+                        "\n    phase {:8} baseline          - allocs vs current {:>10} \
+                         ({} bytes)",
+                        cur.phase, cur.alloc_count, cur.alloc_bytes
+                    ));
+                }
+            }
+        }
+        failures.push(msg);
+    }
     failures
 }
 
@@ -424,11 +511,15 @@ mod tests {
                     phase: "prepare".to_string(),
                     calls: 4,
                     busy_ms: 500.0,
+                    alloc_count: 10_000,
+                    alloc_bytes: 8_000_000,
                 },
                 PhaseBreakdown {
                     phase: "time".to_string(),
                     calls: 240,
                     busy_ms: 300.0,
+                    alloc_count: 2_000,
+                    alloc_bytes: 160_000,
                 },
             ],
             simd_path: "avx2".to_string(),
@@ -572,6 +663,8 @@ mod tests {
             dur_ns: dur_ms * 1_000_000,
             bytes: 0,
             items: 0,
+            alloc_count: 3,
+            alloc_bytes: 24,
         };
         let spans = vec![rec("time", 5), rec("prepare", 100), rec("time", 7)];
         let phases = phase_rollup(&spans);
@@ -579,5 +672,80 @@ mod tests {
         assert_eq!((phases[0].phase.as_str(), phases[0].calls), ("prepare", 1));
         assert_eq!((phases[1].phase.as_str(), phases[1].calls), ("time", 2));
         assert!((phases[1].busy_ms - 12.0).abs() < 1e-9);
+        assert_eq!(
+            (phases[1].alloc_count, phases[1].alloc_bytes),
+            (6, 48),
+            "allocation telemetry must sum across a phase's spans"
+        );
+    }
+
+    #[test]
+    fn pre_alloc_baselines_parse_with_zero_defaults() {
+        // A v2 phase entry recorded before allocation telemetry must
+        // parse as zero allocations (no baseline re-record required).
+        let mut doc = sample().to_json();
+        let Json::Object(ref mut fields) = doc else {
+            panic!("smoke json is an object")
+        };
+        for (k, v) in fields.iter_mut() {
+            if k != "phases" {
+                continue;
+            }
+            let Json::Array(ref mut entries) = v else {
+                panic!("phases is an array")
+            };
+            for entry in entries {
+                let Json::Object(ref mut pf) = entry else {
+                    panic!("phase entry is an object")
+                };
+                pf.retain(|(k, _)| k != "alloc_count" && k != "alloc_bytes");
+            }
+        }
+        let back = SmokeResult::from_json(&doc).unwrap();
+        assert!(back.phases.iter().all(|p| p.alloc_count == 0));
+        assert!(back.phases.iter().all(|p| p.alloc_bytes == 0));
+        // ... and such a baseline never trips the alloc gate, no matter
+        // how many allocations the current run records.
+        assert!(check_smoke(&sample(), &back, DEFAULT_FACTOR).is_empty());
+    }
+
+    #[test]
+    fn alloc_regression_fails_only_beyond_factor() {
+        let base = sample();
+        let mut cur = sample();
+        cur.phases[0].alloc_count = (total_allocs(&base) as f64 * 1.9) as u64;
+        cur.phases[1].alloc_count = 0;
+        assert!(check_smoke(&cur, &base, DEFAULT_FACTOR).is_empty());
+        cur.phases[0].alloc_count = (total_allocs(&base) as f64 * 2.1) as u64;
+        let failures = check_smoke(&cur, &base, DEFAULT_FACTOR);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("allocations regressed"),
+            "{failures:?}"
+        );
+        assert!(failures[0].contains("phase prepare"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn alloc_gate_skipped_when_current_unrecorded() {
+        // A binary without the counting allocator reads zero allocations;
+        // its results must still pass against an alloc-recording baseline.
+        let base = sample();
+        let mut cur = sample();
+        for p in &mut cur.phases {
+            p.alloc_count = 0;
+            p.alloc_bytes = 0;
+        }
+        assert!(check_smoke(&cur, &base, DEFAULT_FACTOR).is_empty());
+    }
+
+    #[test]
+    fn cubie_smoke_alloc_factor_falls_back_on_garbage() {
+        let _guard = crate::env_lock();
+        std::env::set_var("CUBIE_SMOKE_ALLOC_FACTOR", "plenty");
+        assert_eq!(smoke_alloc_factor(), DEFAULT_ALLOC_FACTOR);
+        std::env::set_var("CUBIE_SMOKE_ALLOC_FACTOR", "8.0");
+        assert_eq!(smoke_alloc_factor(), 8.0);
+        std::env::remove_var("CUBIE_SMOKE_ALLOC_FACTOR");
     }
 }

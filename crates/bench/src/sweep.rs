@@ -85,11 +85,19 @@ impl SweepCache {
         });
         // All (case, variant) traces in parallel while the inputs are
         // alive; `trace()` is pure, so any schedule yields the same data.
+        // Trace construction performs the functional execution — the
+        // dominant cost of a cold sweep — so dispatch longest-first
+        // (useful work is the cost estimate) to overlap the heavy cases
+        // with the cheap tail instead of serializing behind them.
         let n_variants = Variant::ALL.len();
-        let traces = par_map(cases.len() * n_variants, |i| {
-            let (ci, vi) = (i / n_variants, i % n_variants);
-            cases[ci].trace(Variant::ALL[vi]).map(Arc::new)
-        });
+        let traces = par_map_lpt(
+            cases.len() * n_variants,
+            |i| meta.useful[i / n_variants],
+            |i| {
+                let (ci, vi) = (i / n_variants, i % n_variants);
+                cases[ci].trace(Variant::ALL[vi]).map(Arc::new)
+            },
+        );
         drop(cases);
         let mut meta_guard = self.meta.lock().unwrap();
         if let Some(existing) = meta_guard.get(&key) {
@@ -542,6 +550,45 @@ impl Sweep {
     }
 }
 
+/// Longest-processing-time-first dispatch order for `n` items with
+/// per-item cost estimates: indices sorted by `cost` descending, ties
+/// broken by index ascending (so the order is total and deterministic).
+///
+/// Dispatching the heaviest cells first shrinks the makespan of a
+/// bounded worker pool: a multi-second SpGEMM trace started last would
+/// leave every other worker idle behind it, while started first it
+/// overlaps the long tail of cheap cells. The permutation affects
+/// *schedule only* — callers scatter results back to canonical
+/// positions, so output stays bit-identical for any job count.
+pub fn makespan_order(n: usize, cost: impl Fn(usize) -> f64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        cost(b)
+            .partial_cmp(&cost(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// [`par_map`] with LPT scheduling: items are *dispatched* in
+/// [`makespan_order`] but *collected* at their original indices, so the
+/// result is element-for-element identical to `par_map(n, f)` — only the
+/// wall-clock schedule differs (sort the keys, never the results).
+fn par_map_lpt<T: Send>(
+    n: usize,
+    cost: impl Fn(usize) -> f64,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let order = makespan_order(n, cost);
+    let permuted = par_map(n, |slot| f(order[slot]));
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (slot, item) in permuted.into_iter().enumerate() {
+        out[order[slot]] = Some(item);
+    }
+    out.into_iter().map(|o| o.unwrap()).collect()
+}
+
 /// Runs the configured cross-product through the cache, in parallel.
 pub struct SweepRunner {
     config: SweepConfig,
@@ -624,23 +671,29 @@ impl SweepRunner {
             }
         }
 
-        // Phase B — timing, fanned out over cells. `par_map` collects in
-        // index order, so `cells` is deterministic for any job count.
-        let mut cells = par_map(keys.len(), |i| {
-            let (w, ci, v, di) = keys[i];
-            let device = &cfg.devices[di];
-            let m = &meta[&w];
-            SweepCell {
-                workload: w,
-                case_idx: ci,
-                case: m.labels[ci].clone(),
-                variant: v,
-                precision: Precision::F64,
-                device: device.name.clone(),
-                useful: m.useful[ci],
-                timing: time_workload(device, &traces[&(w, ci, v)]),
-            }
-        });
+        // Phase B — timing, fanned out over cells longest-first (useful
+        // work estimates per-cell cost) so a heavy straggler cannot be
+        // the last dispatch. Results scatter back to index order, so
+        // `cells` stays canonical and bit-identical for any job count.
+        let mut cells = par_map_lpt(
+            keys.len(),
+            |i| meta[&keys[i].0].useful[keys[i].1],
+            |i| {
+                let (w, ci, v, di) = keys[i];
+                let device = &cfg.devices[di];
+                let m = &meta[&w];
+                SweepCell {
+                    workload: w,
+                    case_idx: ci,
+                    case: m.labels[ci].clone(),
+                    variant: v,
+                    precision: Precision::F64,
+                    device: device.name.clone(),
+                    useful: m.useful[ci],
+                    timing: time_workload(device, &traces[&(w, ci, v)]),
+                }
+            },
+        );
 
         // Phase C — mixed-precision cells, appended after the FP64 block
         // so default sweeps stay bit-identical. Reduced precisions exist
@@ -669,21 +722,25 @@ impl SweepRunner {
                     }
                 }
             }
-            cells.extend(par_map(mkeys.len(), |i| {
-                let (p, ci, v, di) = mkeys[i];
-                let device = &cfg.devices[di];
-                let trace = gemm::trace_precision(&cases[ci], v, p);
-                SweepCell {
-                    workload: Workload::Gemm,
-                    case_idx: ci,
-                    case: m.labels[ci].clone(),
-                    variant: v,
-                    precision: p,
-                    device: device.name.clone(),
-                    useful: m.useful[ci],
-                    timing: time_workload(device, &trace),
-                }
-            }));
+            cells.extend(par_map_lpt(
+                mkeys.len(),
+                |i| m.useful[mkeys[i].1],
+                |i| {
+                    let (p, ci, v, di) = mkeys[i];
+                    let device = &cfg.devices[di];
+                    let trace = gemm::trace_precision(&cases[ci], v, p);
+                    SweepCell {
+                        workload: Workload::Gemm,
+                        case_idx: ci,
+                        case: m.labels[ci].clone(),
+                        variant: v,
+                        precision: p,
+                        device: device.name.clone(),
+                        useful: m.useful[ci],
+                        timing: time_workload(device, &trace),
+                    }
+                },
+            ));
         }
 
         if let Some(prev) = prev_jobs {
@@ -735,6 +792,30 @@ mod tests {
             prev = Some(key);
             assert!(c.time_s() > 0.0 && c.gthroughput() > 0.0);
         }
+    }
+
+    #[test]
+    fn makespan_order_is_longest_first_with_index_tiebreak() {
+        let costs = [3.0, 9.0, 1.0, 9.0, 4.0];
+        assert_eq!(makespan_order(costs.len(), |i| costs[i]), [1, 3, 4, 0, 2]);
+        // NaN costs must not panic and must stay deterministic.
+        let weird = [f64::NAN, 2.0, f64::NAN];
+        let order = makespan_order(weird.len(), |i| weird[i]);
+        assert_eq!(order.len(), 3);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2], "order must be a permutation");
+        assert_eq!(makespan_order(0, |_| 0.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn par_map_lpt_scatters_back_to_canonical_order() {
+        // Inverted costs force a dispatch order that is the exact
+        // reverse of the index order — the scatter must undo it.
+        let n = 97;
+        let lpt = par_map_lpt(n, |i| -(i as f64), |i| i * i);
+        let plain = par_map(n, |i| i * i);
+        assert_eq!(lpt, plain);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Workspace-arena microbenchmarks: checkout/restore against fresh
+//! allocation for the three checkout shapes (`take`, `take_in`,
+//! `take_copy`), a kernel-shaped hot loop (many short-lived scratch
+//! buffers per iteration — the pattern the ten workload kernels follow),
+//! and cross-thread churn through the worker pool (buffers retired on
+//! the dropping thread's arena, the `par_map` escape pattern).
+//!
+//! Run with `cargo bench -p cubie-core --bench workspace`; pass
+//! `-- workspace-hot-loop` etc. to filter to one group. Every `arena/*`
+//! row has a `fresh/*` twin measuring the identical loop with reuse
+//! disabled ([`workspace::set_reuse`]), so the checkout win is read
+//! directly off the pair.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cubie_core::rng::LcgF64;
+use cubie_core::{par, workspace};
+
+/// Warm the current thread's arena so `arena/*` rows measure steady
+/// state (pool hits), not the first-iteration miss.
+fn prewarm_arena(len: usize) {
+    let a = workspace::take::<f64>(len, 0.0);
+    let b = workspace::take::<f64>(len, 0.0);
+    drop(a);
+    drop(b);
+}
+
+fn bench_checkout(c: &mut Criterion) {
+    let prev = workspace::set_reuse(true);
+    let mut g = c.benchmark_group("workspace-checkout");
+    g.sample_size(60)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for n in [4096usize, 65_536] {
+        prewarm_arena(n);
+        let mut rng = LcgF64::new(42);
+        let src = rng.vec(n);
+        g.bench_function(format!("arena/take/{n}"), |b| {
+            b.iter(|| {
+                let v = workspace::take::<f64>(n, 0.0);
+                black_box(v[n - 1])
+            })
+        });
+        g.bench_function(format!("fresh/take/{n}"), |b| {
+            b.iter(|| {
+                let prev = workspace::set_reuse(false);
+                let v = workspace::take::<f64>(n, 0.0);
+                let last = v[n - 1];
+                drop(v);
+                workspace::set_reuse(prev);
+                black_box(last)
+            })
+        });
+        g.bench_function(format!("arena/take_copy/{n}"), |b| {
+            b.iter(|| {
+                let v = workspace::take_copy(&src);
+                black_box(v[n - 1])
+            })
+        });
+        g.bench_function(format!("fresh/to_vec/{n}"), |b| {
+            b.iter(|| {
+                let v = src.to_vec();
+                black_box(v[n - 1])
+            })
+        });
+    }
+    g.finish();
+    workspace::set_reuse(prev);
+}
+
+/// One kernel-shaped iteration: a handful of short-lived scratch buffers
+/// checked out, filled, partially read, and dropped — the allocation
+/// profile of a single trace step in the workload kernels.
+fn kernel_shaped_step(n: usize) -> f64 {
+    let mut acc = 0.0;
+    for pass in 0..8 {
+        let mut buf = workspace::take::<f64>(n, 0.0);
+        let mut tmp = workspace::take_in::<f64>(n);
+        for i in 0..n {
+            buf[i] = (i ^ pass) as f64;
+        }
+        tmp.extend(buf.iter().map(|v| v * 0.5));
+        acc += buf[n - 1] + tmp[n / 2];
+    }
+    acc
+}
+
+fn bench_hot_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workspace-hot-loop");
+    g.sample_size(40)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let n = 4096usize;
+    for on in [true, false] {
+        let label = if on { "arena" } else { "fresh" };
+        g.bench_function(format!("{label}/8xtake/{n}"), |b| {
+            let prev = workspace::set_reuse(on);
+            b.iter(|| black_box(kernel_shaped_step(n)));
+            workspace::set_reuse(prev);
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool_churn(c: &mut Criterion) {
+    let prev_jobs = par::set_max_workers(4);
+    cubie_core::pool::prewarm();
+    let mut g = c.benchmark_group("workspace-pool-churn");
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let n = 4096usize;
+    for on in [true, false] {
+        let label = if on { "arena" } else { "fresh" };
+        g.bench_function(format!("{label}/par_map16/{n}"), |b| {
+            let prev = workspace::set_reuse(on);
+            b.iter(|| {
+                let sums = par::par_map(16, |i| {
+                    let mut buf = workspace::take::<f64>(n, 0.0);
+                    buf[i] = 1.0;
+                    buf.iter().sum::<f64>()
+                });
+                black_box(sums.len())
+            });
+            workspace::set_reuse(prev);
+        });
+    }
+    g.finish();
+    par::set_max_workers(prev_jobs);
+}
+
+criterion_group!(
+    workspace_benches,
+    bench_checkout,
+    bench_hot_loop,
+    bench_pool_churn
+);
+criterion_main!(workspace_benches);

@@ -34,6 +34,10 @@
 //!   (strided MMA core, CSR SpMV row, stencil star row) with runtime
 //!   dispatch across scalar/AVX2/AVX-512/NEON, every path bit-identical
 //!   to scalar (`CUBIE_SIMD` forces a path).
+//! * [`workspace`] — thread-local reusable buffer arenas the kernel hot
+//!   loops check scratch out of; values are always fully re-initialized
+//!   (bit-identical to fresh allocation), only capacity is recycled
+//!   (`CUBIE_WS=off` restores fresh allocation).
 
 #![warn(missing_docs)]
 
@@ -48,6 +52,7 @@ pub mod pool;
 pub mod rng;
 pub mod scalar;
 pub mod simd;
+pub mod workspace;
 
 pub use complex::C64;
 pub use counters::{MemTraffic, OpCounters};

@@ -1,0 +1,404 @@
+//! Thread-local reusable buffer arenas for the kernel hot loops.
+//!
+//! Every functional kernel execution (and the trace-phase structure
+//! builders — the DASP bundler, the mBSR block scan, the BFS traversal)
+//! needs transient scratch: accumulator tiles, frontier bitmaps, packed
+//! operands, row copies. Allocating that scratch from the global
+//! allocator per call puts allocator churn — and its lock traffic and
+//! page faults — squarely inside the loops the suite measures, which is
+//! exactly the noise floor a characterization harness must not have.
+//!
+//! [`take`]/[`take_in`]/[`take_copy`] check a buffer out of a
+//! **thread-local, type-erased pool** (a `TypeId`-keyed map of retired
+//! `Vec<T>` stacks). Checked-out buffers are **always fully
+//! re-initialized** — `take` clear+resizes to the requested fill,
+//! `take_copy` clear+copies the source slice, `take_in` hands back an
+//! emptied vec for push-style construction — so results are bit-identical
+//! to fresh allocation on every path: only the *capacity* is recycled,
+//! never a value. Dropping the [`WsVec`] guard restores the buffer to the
+//! owning thread's pool (bounded — see [`MAX_RETAINED_PER_TYPE`]), so
+//! steady-state repeated executions run the hot loops allocation-free.
+//!
+//! Reuse can be disabled ([`set_reuse`], or `CUBIE_WS=off`) to recover
+//! the fresh-allocation reference behaviour; the equivalence property
+//! suite (`tests/workspace_identity.rs`) asserts both modes produce the
+//! same bytes across worker counts and forced SIMD paths. Global
+//! counters ([`stats`]) expose hit/miss rates and the retained footprint
+//! for the boundedness tests and the allocation-telemetry docs.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Once;
+
+/// Retired buffers retained per element type per thread. Checkout depth
+/// above this (e.g. deep FFT recursion on a cold pool) falls back to
+/// fresh allocation for the excess; restores beyond the cap drop the
+/// buffer, bounding the retained footprint of every thread.
+pub const MAX_RETAINED_PER_TYPE: usize = 32;
+
+/// Whether restored buffers are recycled (`true`) or every checkout
+/// allocates fresh (`false` — the reference mode of the equivalence
+/// suite).
+static REUSE: AtomicBool = AtomicBool::new(true);
+static ENV_INIT: Once = Once::new();
+
+/// Checkouts served from a retired buffer.
+static HITS: AtomicU64 = AtomicU64::new(0);
+/// Checkouts that had to allocate a fresh `Vec`.
+static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Bytes currently parked in the pools of all live threads.
+static RETAINED_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Buffers currently parked in the pools of all live threads.
+static RETAINED_BUFFERS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether checkouts recycle retired buffers. Initialized once from
+/// `CUBIE_WS` (`off`/`0` disables), overridable via [`set_reuse`].
+pub fn reuse_enabled() -> bool {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("CUBIE_WS") {
+            match v.to_ascii_lowercase().as_str() {
+                "off" | "0" | "false" => REUSE.store(false, Ordering::Relaxed),
+                "on" | "1" | "true" | "" => {}
+                other => eprintln!(
+                    "warning: ignoring CUBIE_WS={other}: expected on|off (workspace reuse stays on)"
+                ),
+            }
+        }
+    });
+    REUSE.load(Ordering::Relaxed)
+}
+
+/// Turn workspace reuse on or off process-wide; returns the previous
+/// setting. Disabling makes every checkout a fresh allocation and every
+/// restore a plain drop — the fresh-allocation reference the equivalence
+/// property suite compares against. Already-parked buffers stay parked
+/// (and are reused again once re-enabled).
+pub fn set_reuse(on: bool) -> bool {
+    ENV_INIT.call_once(|| {});
+    REUSE.swap(on, Ordering::Relaxed)
+}
+
+/// One type's stack of retired buffers, with its accounted footprint.
+struct PoolEntry {
+    /// `Vec<Vec<T>>` behind the type-erased door.
+    stack: Box<dyn Any>,
+    /// Capacity bytes parked in `stack` (mirrors [`RETAINED_BYTES`]).
+    bytes: u64,
+    /// Buffers parked in `stack` (mirrors [`RETAINED_BUFFERS`]).
+    count: u64,
+}
+
+/// Per-thread pool. The explicit `Drop` keeps the global retained
+/// counters truthful when a pool worker retires mid-process.
+#[derive(Default)]
+struct ThreadPool {
+    entries: HashMap<TypeId, PoolEntry>,
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for e in self.entries.values() {
+            RETAINED_BYTES.fetch_sub(e.bytes, Ordering::Relaxed);
+            RETAINED_BUFFERS.fetch_sub(e.count, Ordering::Relaxed);
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<ThreadPool> = RefCell::new(ThreadPool::default());
+}
+
+/// A checked-out workspace buffer: derefs to `Vec<T>`, restores its
+/// allocation to the owning thread's pool on drop. Elements are `Copy`
+/// so clearing on restore is free and re-initialization on checkout is a
+/// fill/copy, never a drop-and-reconstruct.
+pub struct WsVec<T: Copy + 'static> {
+    buf: Vec<T>,
+}
+
+impl<T: Copy + 'static> Deref for WsVec<T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.buf
+    }
+}
+
+impl<T: Copy + 'static> DerefMut for WsVec<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.buf
+    }
+}
+
+impl<T: Copy + 'static> Drop for WsVec<T> {
+    fn drop(&mut self) {
+        if !reuse_enabled() || self.buf.capacity() == 0 {
+            return;
+        }
+        let buf = std::mem::take(&mut self.buf);
+        // TLS is gone during thread teardown; losing the buffer there is
+        // correct (the pool's Drop already balanced the counters).
+        let _ = POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            let entry = pool
+                .entries
+                .entry(TypeId::of::<T>())
+                .or_insert_with(|| PoolEntry {
+                    stack: Box::new(Vec::<Vec<T>>::new()),
+                    bytes: 0,
+                    count: 0,
+                });
+            let stack = entry
+                .stack
+                .downcast_mut::<Vec<Vec<T>>>()
+                .expect("pool entry type matches its TypeId key");
+            if stack.len() >= MAX_RETAINED_PER_TYPE {
+                return; // bounded: excess buffers are dropped
+            }
+            let mut buf = buf;
+            buf.clear();
+            let bytes = (buf.capacity() * std::mem::size_of::<T>()) as u64;
+            entry.bytes += bytes;
+            entry.count += 1;
+            RETAINED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+            RETAINED_BUFFERS.fetch_add(1, Ordering::Relaxed);
+            stack.push(buf);
+        });
+    }
+}
+
+/// Check an empty `Vec<T>` out of this thread's pool (fresh when the
+/// pool is cold or reuse is off), retaining whatever capacity the
+/// retired buffer carried. The vec is always empty — push-style
+/// construction sees exactly what a fresh `Vec::with_capacity` would.
+fn checkout<T: Copy + 'static>() -> Vec<T> {
+    if !reuse_enabled() {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        return Vec::new();
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let Some(entry) = pool.entries.get_mut(&TypeId::of::<T>()) else {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            return Vec::new();
+        };
+        let stack = entry
+            .stack
+            .downcast_mut::<Vec<Vec<T>>>()
+            .expect("pool entry type matches its TypeId key");
+        match stack.pop() {
+            Some(buf) => {
+                let bytes = (buf.capacity() * std::mem::size_of::<T>()) as u64;
+                entry.bytes -= bytes;
+                entry.count -= 1;
+                RETAINED_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+                RETAINED_BUFFERS.fetch_sub(1, Ordering::Relaxed);
+                HITS.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    })
+}
+
+/// Check out a buffer of `len` elements, **every element initialized to
+/// `fill`** — bit-identical to `vec![fill; len]` with the allocation
+/// recycled.
+pub fn take<T: Copy + 'static>(len: usize, fill: T) -> WsVec<T> {
+    let mut buf = checkout::<T>();
+    buf.resize(len, fill);
+    WsVec { buf }
+}
+
+/// Check out an **empty** buffer with at least `capacity` reserved, for
+/// push-style construction — bit-identical to
+/// `Vec::with_capacity(capacity)` with the allocation recycled.
+pub fn take_in<T: Copy + 'static>(capacity: usize) -> WsVec<T> {
+    let mut buf = checkout::<T>();
+    buf.reserve(capacity);
+    WsVec { buf }
+}
+
+/// Check out a buffer holding an exact copy of `src` — bit-identical to
+/// `src.to_vec()` with the allocation recycled.
+pub fn take_copy<T: Copy + 'static>(src: &[T]) -> WsVec<T> {
+    let mut buf = checkout::<T>();
+    buf.extend_from_slice(src);
+    WsVec { buf }
+}
+
+/// Snapshot of the workspace counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WsStats {
+    /// Checkouts served from a retired buffer.
+    pub hits: u64,
+    /// Checkouts that allocated fresh.
+    pub misses: u64,
+    /// Bytes currently parked across all thread pools.
+    pub retained_bytes: u64,
+    /// Buffers currently parked across all thread pools.
+    pub retained_buffers: u64,
+}
+
+/// Current workspace counters (process-wide, all threads).
+pub fn stats() -> WsStats {
+    WsStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        retained_bytes: RETAINED_BYTES.load(Ordering::Relaxed),
+        retained_buffers: RETAINED_BUFFERS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Reuse-toggling tests share the process-global switch; serialize.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn take_is_fully_initialized() {
+        let _g = lock();
+        // Dirty a buffer, restore it, and take a differently sized one:
+        // no stale value may survive.
+        {
+            let mut a = take::<f64>(16, 7.5);
+            a[3] = -1.0;
+        }
+        let b = take::<f64>(8, 2.0);
+        assert!(b.iter().all(|&v| v == 2.0));
+        let c = take::<f64>(32, 0.0);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn checkout_reuses_capacity() {
+        let _g = lock();
+        let prev = set_reuse(true);
+        let cap = {
+            let mut a = take_in::<u32>(0);
+            a.extend(0..1000);
+            a.capacity()
+        };
+        let hits0 = stats().hits;
+        let b = take::<u32>(100, 9);
+        // LIFO: the buffer just restored comes straight back.
+        assert!(b.capacity() >= cap, "capacity {} < {cap}", b.capacity());
+        assert_eq!(b.len(), 100);
+        assert!(stats().hits > hits0, "second checkout must be a pool hit");
+        set_reuse(prev);
+    }
+
+    #[test]
+    fn take_copy_matches_to_vec() {
+        let _g = lock();
+        let src = [1.5f64, -2.0, 3.25, f64::MIN_POSITIVE];
+        let c = take_copy(&src);
+        assert_eq!(&c[..], &src[..]);
+    }
+
+    #[test]
+    fn disabled_reuse_never_parks_or_recycles() {
+        let _g = lock();
+        let prev = set_reuse(false);
+        let misses0 = stats().misses;
+        let parked0 = stats().retained_buffers;
+        {
+            let mut a = take::<u64>(64, 1);
+            a.push(2);
+        }
+        let _b = take::<u64>(64, 1);
+        assert!(stats().misses >= misses0 + 2, "both checkouts are misses");
+        assert_eq!(
+            stats().retained_buffers,
+            parked0,
+            "nothing parks while reuse is off"
+        );
+        set_reuse(prev);
+    }
+
+    #[test]
+    fn retained_footprint_is_bounded_per_type() {
+        let _g = lock();
+        let prev = set_reuse(true);
+        // Checkout depth beyond the cap, then restore all: the pool may
+        // keep at most MAX_RETAINED_PER_TYPE buffers of this type.
+        let before = stats().retained_buffers;
+        let held: Vec<WsVec<i32>> = (0..2 * MAX_RETAINED_PER_TYPE)
+            .map(|_| take::<i32>(16, 0))
+            .collect();
+        drop(held);
+        let after = stats().retained_buffers;
+        assert!(
+            after <= before + MAX_RETAINED_PER_TYPE as u64,
+            "retained grew {before} -> {after}"
+        );
+        set_reuse(prev);
+    }
+
+    #[test]
+    fn distinct_types_do_not_collide() {
+        let _g = lock();
+        let prev = set_reuse(true);
+        {
+            let _a = take::<f64>(8, 1.0);
+            let _b = take::<u32>(8, 2);
+            let _c = take::<[f64; 3]>(8, [0.0; 3]);
+        }
+        let a = take::<f64>(4, 3.0);
+        let b = take::<u32>(4, 4);
+        let c = take::<[f64; 3]>(4, [5.0; 3]);
+        assert!(a.iter().all(|&v| v == 3.0));
+        assert!(b.iter().all(|&v| v == 4));
+        assert!(c.iter().all(|&v| v == [5.0; 3]));
+        set_reuse(prev);
+    }
+
+    #[test]
+    fn nested_checkouts_get_distinct_buffers() {
+        let _g = lock();
+        let prev = set_reuse(true);
+        let mut a = take::<f64>(16, 1.0);
+        let mut b = take::<f64>(16, 2.0);
+        a[0] = 10.0;
+        b[0] = 20.0;
+        assert_eq!((a[0], b[0]), (10.0, 20.0));
+        assert!(a[1..].iter().all(|&v| v == 1.0));
+        assert!(b[1..].iter().all(|&v| v == 2.0));
+        set_reuse(prev);
+    }
+
+    #[test]
+    fn worker_threads_have_private_pools() {
+        let _g = lock();
+        let prev = set_reuse(true);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let v = take::<u64>(64 + i, t as u64);
+                        assert!(v.iter().all(|&x| x == t as u64));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Thread teardown dropped the per-thread pools; the global
+        // retained counters must have been rebalanced, leaving whatever
+        // other live threads hold (bounded, not negative-wrapped).
+        assert!(stats().retained_bytes < u64::MAX / 2, "counter underflow");
+        set_reuse(prev);
+    }
+}

@@ -7,6 +7,7 @@
 //! 128-bit frontier segment via the bit MMA and ORs surviving rows into
 //! the next frontier.
 
+use cubie_core::workspace;
 use serde::{Deserialize, Serialize};
 
 use crate::csr_graph::CsrGraph;
@@ -52,7 +53,7 @@ impl BitmapGraph {
 
         // Collect (row_block, col_block, local_row, local_col) per arc of
         // the transpose, then bucket into slices.
-        let mut keys: Vec<(u32, u32, u8, u8)> = Vec::with_capacity(g.num_arcs());
+        let mut keys = workspace::take_in::<(u32, u32, u8, u8)>(g.num_arcs());
         for u in 0..n {
             for &v in g.neighbors(u) {
                 // arc u → v sets bit u in row v of the pull structure.
@@ -70,7 +71,7 @@ impl BitmapGraph {
         let mut offsets = vec![0usize; row_blocks + 1];
         let mut slices: Vec<Slice> = Vec::new();
         let mut current: Option<(u32, u32)> = None;
-        for (rb, cb, lr, lc) in keys {
+        for &(rb, cb, lr, lc) in keys.iter() {
             if current != Some((rb, cb)) {
                 slices.push(Slice {
                     col_block: cb,

@@ -20,7 +20,7 @@
 
 use cubie_core::counters::MemTraffic;
 use cubie_core::mma::mma_b1_m8n8k128_and_popc;
-use cubie_core::OpCounters;
+use cubie_core::{workspace, OpCounters};
 use cubie_graph::bitmap::{BitmapGraph, BLOCK_COLS, BLOCK_ROWS};
 use cubie_graph::csr_graph::CsrGraph;
 use cubie_sim::trace::latency;
@@ -62,10 +62,10 @@ fn run_bitmap(g: &CsrGraph, source: usize, variant: Variant) -> (Vec<i32>, Workl
     let col_blocks = bm.col_blocks;
     let mut level = vec![-1i32; n];
     level[source] = 0;
-    let mut frontier: Vec<u128> = vec![0; col_blocks];
+    let mut frontier = workspace::take(col_blocks, 0u128);
     frontier[source / BLOCK_COLS] |= 1u128 << (source % BLOCK_COLS);
     // Bands that still contain unsettled rows.
-    let mut band_unsettled: Vec<u32> = vec![BLOCK_ROWS as u32; bm.row_blocks];
+    let mut band_unsettled = workspace::take(bm.row_blocks, BLOCK_ROWS as u32);
     if !n.is_multiple_of(BLOCK_ROWS) {
         band_unsettled[bm.row_blocks - 1] = (n % BLOCK_ROWS) as u32;
     }
@@ -76,7 +76,9 @@ fn run_bitmap(g: &CsrGraph, source: usize, variant: Variant) -> (Vec<i32>, Workl
     let mut frontier_count = 1u64;
     while frontier_count > 0 {
         depth += 1;
-        let mut next: Vec<u128> = vec![0; col_blocks];
+        // Ping-pong through the arena: the retired frontier is the
+        // buffer the next level's checkout gets back.
+        let mut next = workspace::take(col_blocks, 0u128);
         let mut ops = OpCounters::default();
         let mut scratch = OpCounters::default();
         let mut processed = 0u64;
@@ -150,7 +152,8 @@ fn run_push_pull(g: &CsrGraph, source: usize) -> (Vec<i32>, WorkloadTrace) {
     let n = g.n;
     let mut level = vec![-1i32; n];
     level[source] = 0;
-    let mut frontier = vec![source as u32];
+    let mut frontier = workspace::take_in::<u32>(1);
+    frontier.push(source as u32);
     let mut unvisited = n as u64 - 1;
     let mut workload = WorkloadTrace::default();
     let mut depth = 0i32;
@@ -159,7 +162,7 @@ fn run_push_pull(g: &CsrGraph, source: usize) -> (Vec<i32>, WorkloadTrace) {
         let frontier_edges: u64 = frontier.iter().map(|&u| g.degree(u as usize) as u64).sum();
         let unvisited_edges = unvisited * (g.num_arcs() as u64 / n.max(1) as u64).max(1);
         let mut ops = OpCounters::default();
-        let mut next = Vec::new();
+        let mut next = workspace::take_in::<u32>(0);
         if frontier_edges > unvisited_edges / 14 && unvisited > 0 {
             // Pull: every unvisited vertex scans its in-neighbours until
             // it finds a frontier parent.
@@ -185,7 +188,7 @@ fn run_push_pull(g: &CsrGraph, source: usize) -> (Vec<i32>, WorkloadTrace) {
         } else {
             // Push: expand the frontier queue.
             let mut inspections = 0u64;
-            for &u in &frontier {
+            for &u in frontier.iter() {
                 for &v in g.neighbors(u as usize) {
                     inspections += 1;
                     if level[v as usize] < 0 {

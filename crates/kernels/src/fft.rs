@@ -23,7 +23,7 @@ use std::f64::consts::PI;
 
 use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
-use cubie_core::{OpCounters, C64};
+use cubie_core::{workspace, OpCounters, C64};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
@@ -45,8 +45,9 @@ impl FftCase {
     /// The five Table 2 test cases (batch 2K).
     pub fn cases() -> Vec<FftCase> {
         [(256, 256), (256, 512), (256, 1024), (512, 256), (512, 512)]
+            .into_iter()
             .map(|(h, w)| FftCase { h, w, batch: 2048 })
-            .to_vec()
+            .collect()
     }
 
     /// Points per transform.
@@ -110,35 +111,48 @@ pub fn dft2_naive(h: usize, w: usize, x: &[C64]) -> Vec<C64> {
     out
 }
 
-/// Radix-4 recursion on a group of ≤ 8 equal-length transforms, issuing
-/// the tcFFT MMA tiles at every combine (TC/CC identical numerics).
-fn fft_group_mma(xs: &mut [Vec<C64>], ctr: &mut OpCounters) {
-    let n = xs[0].len();
-    debug_assert!(xs.len() <= 8);
+/// Radix-4 recursion on a flat group of `g ≤ 8` equal-length transforms
+/// stored contiguously (`xs[t*n..(t+1)*n]` is transform `t`), issuing the
+/// tcFFT MMA tiles at every combine (TC/CC identical numerics).
+///
+/// `tmp` is an equally sized scratch region whose contents are garbage on
+/// entry and on exit: the decimation gather writes every sub-transform
+/// value before it is read, and the combine fully overwrites `xs` — so
+/// recycled workspace capacity never leaks a value into a result and the
+/// numerics are bit-identical to the old per-level `Vec<Vec<Vec<C64>>>`
+/// allocation (same operations, same order).
+fn fft_group_mma(xs: &mut [C64], tmp: &mut [C64], g: usize, n: usize, ctr: &mut OpCounters) {
+    debug_assert!(g <= 8);
     debug_assert!(n.is_power_of_two());
+    debug_assert_eq!(xs.len(), g * n);
+    debug_assert_eq!(tmp.len(), g * n);
     if n == 1 {
         return;
     }
     if n == 2 {
-        for x in xs.iter_mut() {
-            let (a, b) = (x[0], x[1]);
-            x[0] = a + b;
-            x[1] = a - b;
+        for t in 0..g {
+            let (a, b) = (xs[t * 2], xs[t * 2 + 1]);
+            xs[t * 2] = a + b;
+            xs[t * 2 + 1] = a - b;
         }
-        ctr.add_f64 += xs.len() as u64 * 4;
+        ctr.add_f64 += g as u64 * 4;
         return;
     }
     let q = n / 4;
-    // Decimation in time: four interleaved sub-transforms per transform.
-    let mut subs: Vec<Vec<Vec<C64>>> = (0..4)
-        .map(|p| {
-            xs.iter()
-                .map(|x| x[p..].iter().step_by(4).copied().collect())
-                .collect()
-        })
-        .collect();
-    for sub in subs.iter_mut() {
-        fft_group_mma(sub, ctr);
+    // Decimation in time: gather the four interleaved sub-transforms into
+    // `tmp` (sub `p`, transform `t`, element `j` at `p·gq + t·q + j`),
+    // then recurse with the now-consumed `xs` region as scratch.
+    for p in 0..4 {
+        for t in 0..g {
+            for j in 0..q {
+                tmp[p * (g * q) + t * q + j] = xs[t * n + 4 * j + p];
+            }
+        }
+    }
+    for p in 0..4 {
+        let lo = p * (g * q);
+        let hi = (p + 1) * (g * q);
+        fft_group_mma(&mut tmp[lo..hi], &mut xs[lo..hi], g, q, ctr);
     }
     // Combine: for each k, the twiddled DFT matrix against the batch.
     for k in 0..q {
@@ -154,8 +168,8 @@ fn fft_group_mma(xs: &mut [Vec<C64>], ctr: &mut OpCounters) {
         let mut b_re = [0.0f64; 32];
         let mut b_im = [0.0f64; 32];
         for p in 0..4 {
-            for (bi, _) in xs.iter().enumerate() {
-                let v = subs[p][bi][k];
+            for bi in 0..g {
+                let v = tmp[p * (g * q) + bi * q + k];
                 b_re[p * 8 + bi] = v.re;
                 b_im[p * 8 + bi] = v.im;
             }
@@ -164,26 +178,45 @@ fn fft_group_mma(xs: &mut [Vec<C64>], ctr: &mut OpCounters) {
         let mut pi = [0.0f64; 64];
         mma_f64_m8n8k4(&a, &b_re, &mut pr, ctr);
         mma_f64_m8n8k4(&a, &b_im, &mut pi, ctr);
-        for (bi, x) in xs.iter_mut().enumerate() {
+        for bi in 0..g {
             for r in 0..4 {
                 let re = pr[r * 8 + bi] - pi[(r + 4) * 8 + bi];
                 let im = pr[(r + 4) * 8 + bi] + pi[r * 8 + bi];
-                x[k + r * q] = C64::new(re, im);
+                xs[bi * n + k + r * q] = C64::new(re, im);
             }
         }
         ctr.add_f64 += 64;
     }
 }
 
+/// Run the MMA-path group recursion over a flat batch of `t` contiguous
+/// length-`n` transforms, 8 per group, with one shared scratch region.
+fn fft_groups_flat(xs: &mut [C64], tmp: &mut [C64], n: usize, ctr: &mut OpCounters) {
+    for (group, scratch) in xs.chunks_mut(8 * n).zip(tmp.chunks_mut(8 * n)) {
+        let g = group.len() / n;
+        fft_group_mma(group, &mut scratch[..g * n], g, n, ctr);
+    }
+}
+
 /// Iterative Stockham radix-2 FFT — the cuFFT-style vector baseline.
-fn fft_stockham(x: &mut Vec<C64>, ctr: &mut OpCounters) {
+///
+/// `tmp` is a same-length scratch slice (garbage in, garbage out): each
+/// level fully overwrites its destination before the swap, exactly like
+/// the old freshly allocated ping-pong pair, so results are bit-identical.
+fn fft_stockham(x: &mut [C64], tmp: &mut [C64], ctr: &mut OpCounters) {
     let n = x.len();
     debug_assert!(n.is_power_of_two());
-    let mut src = x.clone();
-    let mut dst = vec![C64::ZERO; n];
+    debug_assert_eq!(tmp.len(), n);
+    let mut levels = 0u32;
     let mut l = n / 2;
     let mut m = 1usize;
     while l >= 1 {
+        // Even level: x → tmp; odd level: tmp → x.
+        let (src, dst): (&[C64], &mut [C64]) = if levels.is_multiple_of(2) {
+            (x as &[C64], &mut *tmp)
+        } else {
+            (tmp as &[C64], &mut *x)
+        };
         for j in 0..l {
             let w = C64::cis(-PI * j as f64 / l as f64);
             for k in 0..m {
@@ -195,26 +228,42 @@ fn fft_stockham(x: &mut Vec<C64>, ctr: &mut OpCounters) {
         }
         ctr.mul_f64 += (l * m) as u64 * 4;
         ctr.add_f64 += (l * m) as u64 * 6;
-        std::mem::swap(&mut src, &mut dst);
+        levels += 1;
         l /= 2;
         m *= 2;
     }
-    *x = src;
+    if levels % 2 == 1 {
+        x.copy_from_slice(tmp);
+    }
 }
 
 /// Functional 1-D FFT of a batch under one variant (exposed for tests and
-/// the examples; the paper's cases are 2-D).
+/// the examples; the paper's cases are 2-D). Scratch comes from the
+/// thread-local workspace arena, so steady-state repeated batches run
+/// allocation-free.
 pub fn fft1d_batch(xs: &mut [Vec<C64>], variant: Variant) -> OpCounters {
     let mut ctr = OpCounters::new();
     match variant {
         Variant::Tc | Variant::Cc | Variant::CcE => {
             for group in xs.chunks_mut(8) {
-                fft_group_mma(group, &mut ctr);
+                let g = group.len();
+                let n = group[0].len();
+                debug_assert!(group.iter().all(|x| x.len() == n));
+                let mut flat = workspace::take_in::<C64>(g * n);
+                for x in group.iter() {
+                    flat.extend_from_slice(x);
+                }
+                let mut tmp = workspace::take(g * n, C64::ZERO);
+                fft_group_mma(&mut flat, &mut tmp, g, n, &mut ctr);
+                for (t, x) in group.iter_mut().enumerate() {
+                    x.copy_from_slice(&flat[t * n..(t + 1) * n]);
+                }
             }
         }
         Variant::Baseline => {
             for x in xs.iter_mut() {
-                fft_stockham(x, &mut ctr);
+                let mut tmp = workspace::take(x.len(), C64::ZERO);
+                fft_stockham(x, &mut tmp, &mut ctr);
             }
         }
     }
@@ -227,41 +276,38 @@ pub fn run(case: &FftCase, data: &[Vec<C64>], variant: Variant) -> (Vec<Vec<C64>
     let out: Vec<Vec<C64>> = cubie_core::par::par_map(data.len(), |b| {
         let grid = &data[b];
         assert_eq!(grid.len(), h * w);
-        // Row pass.
-        let mut rows: Vec<Vec<C64>> = (0..h).map(|r| grid[r * w..(r + 1) * w].to_vec()).collect();
         let mut ctr = OpCounters::new();
+        // Row pass: the grid is row-major, so the h row transforms are
+        // already contiguous in a flat working copy.
+        let mut buf = workspace::take_copy(grid);
+        let mut tmp = workspace::take(h * w, C64::ZERO);
         match variant {
             Variant::Baseline => {
-                for x in rows.iter_mut() {
-                    fft_stockham(x, &mut ctr);
+                for (x, s) in buf.chunks_mut(w).zip(tmp.chunks_mut(w)) {
+                    fft_stockham(x, s, &mut ctr);
                 }
             }
-            _ => {
-                for group in rows.chunks_mut(8) {
-                    fft_group_mma(group, &mut ctr);
-                }
+            _ => fft_groups_flat(&mut buf, &mut tmp, w, &mut ctr),
+        }
+        // Column pass: transpose into `tmp` (columns contiguous), reusing
+        // `buf` as the recursion scratch, then transpose out.
+        for r in 0..h {
+            for c in 0..w {
+                tmp[c * h + r] = buf[r * w + c];
             }
         }
-        // Column pass via transpose.
-        let mut cols: Vec<Vec<C64>> = (0..w)
-            .map(|c| (0..h).map(|r| rows[r][c]).collect())
-            .collect();
         match variant {
             Variant::Baseline => {
-                for x in cols.iter_mut() {
-                    fft_stockham(x, &mut ctr);
+                for (x, s) in tmp.chunks_mut(h).zip(buf.chunks_mut(h)) {
+                    fft_stockham(x, s, &mut ctr);
                 }
             }
-            _ => {
-                for group in cols.chunks_mut(8) {
-                    fft_group_mma(group, &mut ctr);
-                }
-            }
+            _ => fft_groups_flat(&mut tmp, &mut buf, h, &mut ctr),
         }
         let mut out = vec![C64::ZERO; h * w];
-        for (c, col) in cols.iter().enumerate() {
-            for (r, v) in col.iter().enumerate() {
-                out[r * w + c] = *v;
+        for c in 0..w {
+            for r in 0..h {
+                out[r * w + c] = tmp[c * h + r];
             }
         }
         out

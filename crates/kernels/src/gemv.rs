@@ -167,8 +167,10 @@ pub fn trace(case: &GemvCase, variant: Variant) -> WorkloadTrace {
 fn run_mma(a: &DenseMatrix, x: &[f64]) -> Vec<f64> {
     let (m, n) = (a.rows(), a.cols());
     let a_s = a.as_slice();
-    let bands = m.div_ceil(8);
-    let rows: Vec<[f64; 8]> = par::par_map(bands, |band| {
+    // Each band writes its 8 diagonals straight into its slice of `y` —
+    // no intermediate per-band collection.
+    let mut y = vec![0.0f64; m];
+    par::par_chunks_mut(&mut y, 8, |band, y_band| {
         let i0 = band * 8;
         let rows_here = 8.min(m - i0);
         let mut at = [0.0f64; 32];
@@ -203,14 +205,8 @@ fn run_mma(a: &DenseMatrix, x: &[f64]) -> Vec<f64> {
                 *o += ct[r * 8 + r];
             }
         }
-        out
+        y_band.copy_from_slice(&out[..rows_here]);
     });
-    let mut y = vec![0.0f64; m];
-    for (band, vals) in rows.iter().enumerate() {
-        let i0 = band * 8;
-        let rows_here = 8.min(m - i0);
-        y[i0..i0 + rows_here].copy_from_slice(&vals[..rows_here]);
-    }
     y
 }
 

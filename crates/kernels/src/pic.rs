@@ -48,8 +48,9 @@ impl PicCase {
     /// The five Table 2 test cases: 64K … 1M particles.
     pub fn cases() -> Vec<PicCase> {
         [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20]
+            .into_iter()
             .map(|n| PicCase { n })
-            .to_vec()
+            .collect()
     }
 
     /// Useful work: particle pushes (particles × substeps), ~23 essential
@@ -210,8 +211,10 @@ pub fn run(
     (out, trace(case, variant))
 }
 
-/// Positions and velocities of one 8-particle batch.
-type PosVelBatch = (Vec<[f64; 3]>, Vec<[f64; 3]>);
+/// Positions and velocities of one 8-particle batch — fixed-size stack
+/// state (a batch is at most 8 particles), so the per-batch hot loop
+/// allocates nothing.
+type PosVelBatch = ([[f64; 3]; 8], [[f64; 3]; 8]);
 
 /// TC/CC functional path: 8-particle batches through the MMA.
 fn run_mma(parts: &Particles, grid: &FieldGrid) -> Particles {
@@ -220,8 +223,11 @@ fn run_mma(parts: &Particles, grid: &FieldGrid) -> Particles {
     let results: Vec<PosVelBatch> = par::par_map(batches, |bi| {
         let lo = bi * 8;
         let hi = (lo + 8).min(n);
-        let mut pos: Vec<[f64; 3]> = parts.pos[lo..hi].to_vec();
-        let mut vel: Vec<[f64; 3]> = parts.vel[lo..hi].to_vec();
+        let g = hi - lo;
+        let mut pos = [[0.0f64; 3]; 8];
+        let mut vel = [[0.0f64; 3]; 8];
+        pos[..g].copy_from_slice(&parts.pos[lo..hi]);
+        vel[..g].copy_from_slice(&parts.vel[lo..hi]);
         // Batch cell: the cell of the batch's first (cell-sorted)
         // particle.
         let cell = FieldGrid::cell_of(&pos[0]);
@@ -230,7 +236,7 @@ fn run_mma(parts: &Particles, grid: &FieldGrid) -> Particles {
         let mut scratch = OpCounters::new();
         for _ in 0..SUBSTEPS {
             let mut a = [0.0f64; 32];
-            for (p, v) in vel.iter().enumerate() {
+            for (p, v) in vel[..g].iter().enumerate() {
                 a[p * 4] = v[0];
                 a[p * 4 + 1] = v[1];
                 a[p * 4 + 2] = v[2];
@@ -238,7 +244,7 @@ fn run_mma(parts: &Particles, grid: &FieldGrid) -> Particles {
             }
             let mut c = [0.0f64; 64];
             mma_f64_m8n8k4(&a, &b, &mut c, &mut scratch);
-            for p in 0..vel.len() {
+            for p in 0..g {
                 vel[p] = [c[p * 8], c[p * 8 + 1], c[p * 8 + 2]];
                 for d in 0..3 {
                     pos[p][d] += c[p * 8 + 3 + d];
@@ -249,9 +255,10 @@ fn run_mma(parts: &Particles, grid: &FieldGrid) -> Particles {
     });
     let mut pos = Vec::with_capacity(n);
     let mut vel = Vec::with_capacity(n);
-    for (p, v) in results {
-        pos.extend(p);
-        vel.extend(v);
+    for (bi, (p, v)) in results.iter().enumerate() {
+        let g = 8.min(n - bi * 8);
+        pos.extend_from_slice(&p[..g]);
+        vel.extend_from_slice(&v[..g]);
     }
     Particles { pos, vel }
 }

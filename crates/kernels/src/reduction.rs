@@ -13,7 +13,7 @@
 //!   shuffle trees, cross-warp combine.
 
 use cubie_core::mma::mma_f64_8x8x8;
-use cubie_core::OpCounters;
+use cubie_core::{workspace, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
@@ -39,8 +39,9 @@ impl ReductionCase {
     /// The five Table 2 test cases.
     pub fn cases() -> Vec<ReductionCase> {
         [64, 128, 256, 512, 1024]
+            .into_iter()
             .map(|n| ReductionCase { n })
-            .to_vec()
+            .collect()
     }
 
     /// Useful work: one addition per element per benchmarked repetition.
@@ -117,13 +118,12 @@ fn run_mma(x: &[f64]) -> f64 {
     let n = x.len();
     let tiles = n.div_ceil(TILE).max(1);
     let mut scratch = OpCounters::new();
-    let partials: Vec<f64> = (0..tiles)
-        .map(|t| {
-            let lo = t * TILE;
-            let hi = (lo + TILE).min(n);
-            reduce_tile(&x[lo..hi.max(lo)], &mut scratch)
-        })
-        .collect();
+    let mut partials = workspace::take_in::<f64>(tiles);
+    for t in 0..tiles {
+        let lo = t * TILE;
+        let hi = (lo + TILE).min(n);
+        partials.push(reduce_tile(&x[lo..hi.max(lo)], &mut scratch));
+    }
     if tiles == 1 {
         partials[0]
     } else {
@@ -136,18 +136,17 @@ fn run_mma(x: &[f64]) -> f64 {
 fn run_essential(x: &[f64]) -> f64 {
     let n = x.len();
     let tiles = n.div_ceil(TILE).max(1);
-    let partials: Vec<f64> = (0..tiles)
-        .map(|t| {
-            let lo = t * TILE;
-            let hi = (lo + TILE).min(n);
-            tree_sum(&x[lo..hi])
-        })
-        .collect();
+    let mut partials = workspace::take_in::<f64>(tiles);
+    for t in 0..tiles {
+        let lo = t * TILE;
+        let hi = (lo + TILE).min(n);
+        partials.push(tree_sum(&x[lo..hi]));
+    }
     tree_sum(&partials)
 }
 
 fn tree_sum(x: &[f64]) -> f64 {
-    let mut buf: Vec<f64> = x.to_vec();
+    let mut buf = workspace::take_copy(x);
     while buf.len() > 1 {
         let half = buf.len().div_ceil(2);
         for i in 0..buf.len() / 2 {
@@ -167,17 +166,16 @@ fn run_baseline(x: &[f64]) -> f64 {
     let n = x.len();
     let threads = 128.min(n.max(1));
     let per = n.div_ceil(threads);
-    let mut partials: Vec<f64> = (0..threads)
-        .map(|t| {
-            let lo = (t * per).min(n);
-            let hi = ((t + 1) * per).min(n);
-            let mut acc = 0.0f64;
-            for v in &x[lo..hi] {
-                acc += v;
-            }
-            acc
-        })
-        .collect();
+    let mut partials = workspace::take_in::<f64>(threads);
+    for t in 0..threads {
+        let lo = (t * per).min(n);
+        let hi = ((t + 1) * per).min(n);
+        let mut acc = 0.0f64;
+        for v in &x[lo..hi] {
+            acc += v;
+        }
+        partials.push(acc);
+    }
     let mut width = partials.len();
     while width > 1 {
         let half = width.div_ceil(2);

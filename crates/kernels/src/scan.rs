@@ -22,7 +22,7 @@
 //! throughput; the traces therefore carry careful `critical_cycles`.
 
 use cubie_core::mma::mma_f64_8x8x8;
-use cubie_core::{par, OpCounters};
+use cubie_core::{par, workspace, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use serde::{Deserialize, Serialize};
@@ -48,7 +48,10 @@ pub struct ScanCase {
 impl ScanCase {
     /// The five Table 2 test cases.
     pub fn cases() -> Vec<ScanCase> {
-        [64, 128, 256, 512, 1024].map(|n| ScanCase { n }).to_vec()
+        [64, 128, 256, 512, 1024]
+            .into_iter()
+            .map(|n| ScanCase { n })
+            .collect()
     }
 
     /// Useful work: one addition per element per benchmarked repetition
@@ -145,8 +148,8 @@ fn run_mma(x: &[f64]) -> Vec<f64> {
     let n = x.len();
     let tiles = n.div_ceil(TILE);
     let mut scratch = OpCounters::new();
-    let mut scanned: Vec<[f64; 64]> = Vec::with_capacity(tiles);
-    let mut sums = Vec::with_capacity(tiles);
+    let mut scanned = workspace::take_in::<[f64; 64]>(tiles);
+    let mut sums = workspace::take_in::<f64>(tiles);
     for t in 0..tiles {
         let lo = t * TILE;
         let hi = (lo + TILE).min(n);
@@ -158,11 +161,11 @@ fn run_mma(x: &[f64]) -> Vec<f64> {
     // constant-operand tile pass when more than one tile exists.
     let offsets = if tiles > 1 {
         let (sum_scan, _) = scan_tile(&sums, &mut scratch);
-        let mut off = vec![0.0f64; tiles];
+        let mut off = workspace::take(tiles, 0.0f64);
         off[1..tiles].copy_from_slice(&sum_scan[..tiles - 1]);
         off
     } else {
-        vec![0.0]
+        workspace::take(1, 0.0f64)
     };
     let mut y = vec![0.0f64; n];
     for t in 0..tiles {
@@ -185,8 +188,8 @@ fn run_mma(x: &[f64]) -> Vec<f64> {
 fn run_essential(x: &[f64]) -> Vec<f64> {
     let n = x.len();
     let tiles = n.div_ceil(TILE);
-    let mut scanned: Vec<[f64; 64]> = Vec::with_capacity(tiles);
-    let mut sums = Vec::with_capacity(tiles);
+    let mut scanned = workspace::take_in::<[f64; 64]>(tiles);
+    let mut sums = workspace::take_in::<f64>(tiles);
     for t in 0..tiles {
         let lo = t * TILE;
         let hi = (lo + TILE).min(n);
@@ -233,29 +236,24 @@ fn run_baseline(x: &[f64]) -> Vec<f64> {
     let n = x.len();
     let threads = 128.min(n.max(1));
     let per = n.div_ceil(threads);
-    // Thread-local inclusive scans.
-    let mut local: Vec<Vec<f64>> = (0..threads)
-        .map(|t| {
-            let lo = (t * per).min(n);
-            let hi = ((t + 1) * per).min(n);
-            let mut acc = 0.0f64;
-            x[lo..hi]
-                .iter()
-                .map(|v| {
-                    acc += v;
-                    acc
-                })
-                .collect()
-        })
-        .collect();
+    // Thread-local inclusive scans, written straight into the (escaping)
+    // result — the per-thread chunks are contiguous ranges of it.
+    let mut y = vec![0.0f64; n];
+    let mut totals = workspace::take_in::<f64>(threads);
+    for t in 0..threads {
+        let lo = (t * per).min(n);
+        let hi = ((t + 1) * per).min(n);
+        let mut acc = 0.0f64;
+        for (out, v) in y[lo..hi].iter_mut().zip(&x[lo..hi]) {
+            acc += v;
+            *out = acc;
+        }
+        totals.push(if hi > lo { y[hi - 1] } else { 0.0 });
+    }
     // Kogge–Stone over thread totals.
-    let mut totals: Vec<f64> = local
-        .iter()
-        .map(|v| v.last().copied().unwrap_or(0.0))
-        .collect();
     let mut stride = 1;
     while stride < threads {
-        let prev = totals.clone();
+        let prev = workspace::take_copy(&totals);
         for (i, t) in totals.iter_mut().enumerate() {
             if i >= stride {
                 *t += prev[i - stride];
@@ -266,11 +264,13 @@ fn run_baseline(x: &[f64]) -> Vec<f64> {
     // Uniform add of the exclusive offsets.
     for t in 1..threads {
         let off = totals[t - 1];
-        for v in local[t].iter_mut() {
+        let lo = (t * per).min(n);
+        let hi = ((t + 1) * per).min(n);
+        for v in y[lo..hi].iter_mut() {
             *v += off;
         }
     }
-    local.into_iter().flatten().collect()
+    y
 }
 
 /// Analytic trace of one variant.

@@ -19,7 +19,7 @@
 
 use cubie_core::counters::{MemTraffic, MMA_F64_FMAS};
 use cubie_core::mma::mma_f64_m8n8k4;
-use cubie_core::{par, OpCounters};
+use cubie_core::{par, workspace, OpCounters};
 use cubie_sim::trace::latency;
 use cubie_sim::{KernelTrace, WorkloadTrace};
 use cubie_sparse::Csr;
@@ -65,6 +65,53 @@ pub struct Bundle {
     pub cols: Vec<u32>,
 }
 
+/// Packing statistics (see [`DaspFormat::packing_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackingStats {
+    /// Total MMA steps across all bundles.
+    pub total_steps: u64,
+    /// Number of 8-row bundles.
+    pub bundle_count: usize,
+    /// Steps of the longest bundle (1 when the matrix is empty) — the
+    /// critical-path depth.
+    pub max_steps: usize,
+}
+
+/// Virtual-row expansion shared by [`DaspFormat::from_csr`] and
+/// [`DaspFormat::packing_stats`]: `(original row, slot offset, length)`
+/// triples, longest first, plus per-category row counts. The triple
+/// buffer is workspace scratch — recycled across calls.
+fn virtual_rows(m: &Csr) -> (workspace::WsVec<(u32, u32, u32)>, [usize; 3]) {
+    let mut virt = workspace::take_in::<(u32, u32, u32)>(m.rows);
+    let mut category_counts = [0usize; 3];
+    for r in 0..m.rows {
+        let n = m.row_nnz(r);
+        let c = if n <= SLOTS {
+            0
+        } else if n <= LONG_THRESHOLD {
+            1
+        } else {
+            2
+        };
+        category_counts[c] += 1;
+        if n > LONG_THRESHOLD {
+            let mut off = 0usize;
+            while off < n {
+                let len = LONG_CHUNK.min(n - off);
+                virt.push((r as u32, off as u32, len as u32));
+                off += len;
+            }
+        } else {
+            virt.push((r as u32, 0, n as u32));
+        }
+    }
+    // Stable sort, like the original packer: equal-length virtual rows
+    // keep row order, which fixes bundle membership and therefore the
+    // partial-sum accumulation order of split long rows.
+    virt.sort_by_key(|&(_, _, len)| std::cmp::Reverse(len));
+    (virt, category_counts)
+}
+
 /// The DASP-style packed format.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DaspFormat {
@@ -84,31 +131,7 @@ impl DaspFormat {
     /// virtual rows sort by length, and bundles of 8 pack into 8×4 step
     /// blocks.
     pub fn from_csr(m: &Csr) -> Self {
-        // Virtual rows: (original row, slot offset, length).
-        let mut virt: Vec<(u32, u32, u32)> = Vec::with_capacity(m.rows);
-        let mut category_counts = [0usize; 3];
-        for r in 0..m.rows {
-            let n = m.row_nnz(r);
-            let c = if n <= SLOTS {
-                0
-            } else if n <= LONG_THRESHOLD {
-                1
-            } else {
-                2
-            };
-            category_counts[c] += 1;
-            if n > LONG_THRESHOLD {
-                let mut off = 0usize;
-                while off < n {
-                    let len = LONG_CHUNK.min(n - off);
-                    virt.push((r as u32, off as u32, len as u32));
-                    off += len;
-                }
-            } else {
-                virt.push((r as u32, 0, n as u32));
-            }
-        }
-        virt.sort_by_key(|&(_, _, len)| std::cmp::Reverse(len));
+        let (virt, category_counts) = virtual_rows(m);
         let bundles = virt
             .chunks(BUNDLE_ROWS)
             .map(|chunk| {
@@ -150,6 +173,33 @@ impl DaspFormat {
     /// Total MMA steps across all bundles.
     pub fn total_steps(&self) -> u64 {
         self.bundles.iter().map(|b| b.steps as u64).sum()
+    }
+
+    /// Statistics of the packing [`from_csr`](Self::from_csr) would
+    /// produce, without materializing any bundle — everything the
+    /// analytic trace needs, from the virtual-row expansion alone (the
+    /// numbers are identical to building the format and reading them
+    /// back).
+    pub fn packing_stats(m: &Csr) -> PackingStats {
+        let (virt, _) = virtual_rows(m);
+        let mut total_steps = 0u64;
+        let mut bundle_count = 0usize;
+        let mut max_steps = 0usize;
+        for chunk in virt.chunks(BUNDLE_ROWS) {
+            let max_nnz = chunk.iter().map(|&(_, _, l)| l as usize).max().unwrap_or(0);
+            let steps = max_nnz.div_ceil(SLOTS).max(1);
+            total_steps += steps as u64;
+            bundle_count += 1;
+            // Longest-first sort: the first bundle carries the maximum.
+            if bundle_count == 1 {
+                max_steps = steps;
+            }
+        }
+        PackingStats {
+            total_steps,
+            bundle_count,
+            max_steps: if bundle_count == 0 { 1 } else { max_steps },
+        }
     }
 
     /// Padding overhead: packed slots over actual nonzeros.
@@ -272,8 +322,9 @@ pub fn trace(m: &Csr, variant: Variant) -> WorkloadTrace {
     let (blocks, threads, critical);
     match variant {
         Variant::Tc | Variant::Cc | Variant::CcE => {
-            let fmt = DaspFormat::from_csr(m);
-            let steps = fmt.total_steps();
+            // Structure-only: the step counts, not the packed buffers.
+            let fmt = DaspFormat::packing_stats(m);
+            let steps = fmt.total_steps;
             let slots = steps * (BUNDLE_ROWS * SLOTS) as u64;
             match variant {
                 Variant::Tc => ops.mma_f64 = steps,
@@ -289,11 +340,11 @@ pub fn trace(m: &Csr, variant: Variant) -> WorkloadTrace {
             ops.gmem_load = MemTraffic::coalesced(slots * 8 + slots * 4);
             ops.l2_bytes = slots * 8;
             ops.gmem_store =
-                MemTraffic::coalesced(m.rows as u64 * 8 + fmt.bundles.len() as u64 * 32);
+                MemTraffic::coalesced(m.rows as u64 * 8 + fmt.bundle_count as u64 * 32);
             ops.int_ops = slots; // gather address arithmetic
-            blocks = (fmt.bundles.len() as u64).div_ceil(8);
+            blocks = (fmt.bundle_count as u64).div_ceil(8);
             threads = 256;
-            let max_steps = fmt.bundles.first().map(|b| b.steps).unwrap_or(1) as f64;
+            let max_steps = fmt.max_steps as f64;
             critical = latency::GMEM_RT
                 + max_steps
                     * match variant {

@@ -280,12 +280,24 @@ impl PreparedCase {
         }
     }
 
-    /// Approximate bytes of generated input state held by this case —
-    /// the `bytes` counter of the `prepare` profiling phase. Dense cases
-    /// are parameter-only (their inputs are generated at execution time)
-    /// and report 0.
+    /// Approximate bytes of generated input state for this case — the
+    /// `bytes` counter of the `prepare` profiling phase. Sparse/graph
+    /// cases count the structure generated up front; dense cases are
+    /// parameter-only but still account for the input state one
+    /// functional execution generates from the case parameters, so the
+    /// phase counter reflects the data volume the case stands for.
     pub fn approx_bytes(&self) -> u64 {
         match self {
+            // Dense inputs: operands of one functional execution.
+            PreparedCase::Gemm(c) => ((c.m * c.k + c.k * c.n) * 8) as u64,
+            PreparedCase::Gemv(c) => ((c.m * c.n + c.n) * 8) as u64,
+            // C64 = 16 bytes per point, all batched transforms.
+            PreparedCase::Fft(c) => (c.batch * c.points() * 16) as u64,
+            PreparedCase::Stencil(c) => (c.points() * 8) as u64,
+            PreparedCase::Scan(c) => (c.n * 8) as u64,
+            PreparedCase::Reduction(c) => (c.n * 8) as u64,
+            // Particles (pos + vel, 3 f64 each) + E/B field grid.
+            PreparedCase::Pic(c) => (c.n * 48 + pic::GRID * pic::GRID * pic::GRID * 48) as u64,
             PreparedCase::Spmv { matrix, .. } | PreparedCase::Spgemm { matrix, .. } => {
                 // vals (f64) + col_idx (u32) + row_ptr (usize).
                 (matrix.nnz() * (8 + 4) + (matrix.rows + 1) * 8) as u64
@@ -294,7 +306,6 @@ impl PreparedCase {
                 // adj (u32) + offsets (usize).
                 (graph.num_arcs() * 4 + (graph.n + 1) * 8) as u64
             }
-            _ => 0,
         }
     }
 

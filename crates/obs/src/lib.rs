@@ -24,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -77,6 +79,11 @@ pub struct SpanRecord {
     pub bytes: u64,
     /// Work items under this span (cases, kernels, indices — caller-defined).
     pub items: u64,
+    /// Heap allocation events on the recording thread while the span was
+    /// open (0 unless the binary installs [`alloc::CountingAlloc`]).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
 }
 
 /// Start recording spans. Also clears any records from a previous
@@ -119,6 +126,9 @@ struct SpanInner {
     start: Instant,
     bytes: u64,
     items: u64,
+    /// Thread allocation counters at open; the delta at drop is the
+    /// span's attributed allocator traffic.
+    alloc0: (u64, u64),
 }
 
 impl Span {
@@ -145,6 +155,9 @@ impl Drop for Span {
         let rec = recorder();
         let start_ns = inner.start.duration_since(rec.epoch).as_nanos() as u64;
         let dur_ns = inner.start.elapsed().as_nanos() as u64;
+        // Diff the thread counters before this record itself allocates
+        // (the push below may grow the recorder buffer).
+        let (ac, ab) = alloc::thread_allocs();
         let record = SpanRecord {
             phase: inner.phase,
             label: inner.label,
@@ -153,6 +166,8 @@ impl Drop for Span {
             dur_ns,
             bytes: inner.bytes,
             items: inner.items,
+            alloc_count: ac - inner.alloc0.0,
+            alloc_bytes: ab - inner.alloc0.1,
         };
         rec.spans.lock().unwrap().push(record);
     }
@@ -165,12 +180,17 @@ pub fn span(phase: &'static str, label: &str) -> Span {
     if !enabled() {
         return Span(None);
     }
+    // Snapshot after building the label so the span's own bookkeeping
+    // allocation is not attributed to the phase.
+    let label = label.to_string();
+    let alloc0 = alloc::thread_allocs();
     Span(Some(SpanInner {
         phase,
-        label: label.to_string(),
+        label,
         start: Instant::now(),
         bytes: 0,
         items: 0,
+        alloc0,
     }))
 }
 
@@ -182,12 +202,15 @@ pub fn span_with(phase: &'static str, label: impl FnOnce() -> String) -> Span {
     if !enabled() {
         return Span(None);
     }
+    let label = label();
+    let alloc0 = alloc::thread_allocs();
     Span(Some(SpanInner {
         phase,
-        label: label(),
+        label,
         start: Instant::now(),
         bytes: 0,
         items: 0,
+        alloc0,
     }))
 }
 
@@ -322,6 +345,10 @@ pub struct PhaseAgg {
     pub bytes: u64,
     /// Summed item counters.
     pub items: u64,
+    /// Summed allocation events attributed to the group's spans.
+    pub alloc_count: u64,
+    /// Summed allocated bytes attributed to the group's spans.
+    pub alloc_bytes: u64,
 }
 
 /// Aggregate spans into hotspot rows grouped by `(phase, label)`, sorted
@@ -342,6 +369,8 @@ pub fn aggregate(spans: &[SpanRecord]) -> Vec<PhaseAgg> {
                 g.busy_s += s.dur_ns as f64 * 1e-9;
                 g.bytes += s.bytes;
                 g.items += s.items;
+                g.alloc_count += s.alloc_count;
+                g.alloc_bytes += s.alloc_bytes;
                 extent[i].0 = extent[i].0.min(s.start_ns);
                 extent[i].1 = extent[i].1.max(end);
             }
@@ -354,6 +383,8 @@ pub fn aggregate(spans: &[SpanRecord]) -> Vec<PhaseAgg> {
                     wall_s: 0.0,
                     bytes: s.bytes,
                     items: s.items,
+                    alloc_count: s.alloc_count,
+                    alloc_bytes: s.alloc_bytes,
                 });
                 extent.push((s.start_ns, end));
             }
@@ -412,7 +443,12 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> Json {
                 ("tid", s.tid.into()),
                 (
                     "args",
-                    obj(vec![("bytes", s.bytes.into()), ("items", s.items.into())]),
+                    obj(vec![
+                        ("bytes", s.bytes.into()),
+                        ("items", s.items.into()),
+                        ("alloc_count", s.alloc_count.into()),
+                        ("alloc_bytes", s.alloc_bytes.into()),
+                    ]),
                 ),
             ])
         })
@@ -502,6 +538,8 @@ mod tests {
             dur_ns: dur,
             bytes,
             items: 1,
+            alloc_count: 2,
+            alloc_bytes: 64,
         }
     }
 

@@ -1,6 +1,7 @@
 //! Coordinate (triplet) sparse storage — the assembly format produced by
 //! the generators and the MatrixMarket reader.
 
+use cubie_core::workspace;
 use serde::{Deserialize, Serialize};
 
 /// A sparse matrix as `(row, col, value)` triplets.
@@ -28,6 +29,19 @@ impl Coo {
         }
     }
 
+    /// An empty matrix with room for `cap` entries. Assembly loops that
+    /// know their entry count up front avoid the doubling reallocations
+    /// of growing the three triplet vectors from zero.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_idx: Vec::with_capacity(cap),
+            col_idx: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
     /// Number of stored entries (before deduplication).
     pub fn nnz(&self) -> usize {
         self.vals.len()
@@ -46,14 +60,20 @@ impl Coo {
     }
 
     /// Sort entries by `(row, col)` and sum duplicates.
+    ///
+    /// The permutation and the deduplicated triplets are staged in
+    /// workspace scratch; the result is copied back into the existing
+    /// triplet vectors (the deduplicated count never exceeds the stored
+    /// count, so their capacity is reused rather than reallocated).
     pub fn sort_dedup(&mut self) {
         let n = self.nnz();
-        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut order = workspace::take_in::<u32>(n);
+        order.extend(0..n as u32);
         order.sort_unstable_by_key(|&i| (self.row_idx[i as usize], self.col_idx[i as usize]));
-        let mut row = Vec::with_capacity(n);
-        let mut col = Vec::with_capacity(n);
-        let mut val = Vec::with_capacity(n);
-        for &i in &order {
+        let mut row = workspace::take_in::<u32>(n);
+        let mut col = workspace::take_in::<u32>(n);
+        let mut val = workspace::take_in::<f64>(n);
+        for &i in order.iter() {
             let (r, c, v) = (
                 self.row_idx[i as usize],
                 self.col_idx[i as usize],
@@ -69,9 +89,12 @@ impl Coo {
             col.push(c);
             val.push(v);
         }
-        self.row_idx = row;
-        self.col_idx = col;
-        self.vals = val;
+        self.row_idx.clear();
+        self.row_idx.extend_from_slice(&row);
+        self.col_idx.clear();
+        self.col_idx.extend_from_slice(&col);
+        self.vals.clear();
+        self.vals.extend_from_slice(&val);
     }
 }
 

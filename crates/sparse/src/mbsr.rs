@@ -3,6 +3,7 @@
 //! stored contiguously per block row. Two vertically adjacent 4×4 blocks
 //! combine into one 8×4 MMA `A`-operand tile (Section 3, SpGEMM).
 
+use cubie_core::workspace;
 use serde::{Deserialize, Serialize};
 
 use crate::csr::Csr;
@@ -39,7 +40,11 @@ impl Mbsr {
         let mut blocks: Vec<[f64; BLOCK * BLOCK]> = Vec::new();
 
         // Per block row: gather the scalar rows, bucket by block column.
-        let mut marker: Vec<i64> = vec![-1; block_cols];
+        // All per-row scratch is workspace-recycled across calls.
+        let mut marker = workspace::take(block_cols, -1i64);
+        let mut order = workspace::take_in::<usize>(0);
+        let mut sorted_cols = workspace::take_in::<u32>(0);
+        let mut sorted_blocks = workspace::take_in::<[f64; BLOCK * BLOCK]>(0);
         for br in 0..block_rows {
             let start = col_idx.len();
             for r in br * BLOCK..((br + 1) * BLOCK).min(m.rows) {
@@ -61,13 +66,16 @@ impl Mbsr {
             }
             // Sort this block row's entries by block column for
             // deterministic layout.
-            let mut order: Vec<usize> = (start..col_idx.len()).collect();
+            order.clear();
+            order.extend(start..col_idx.len());
             order.sort_unstable_by_key(|&i| col_idx[i]);
-            let sorted_cols: Vec<u32> = order.iter().map(|&i| col_idx[i]).collect();
-            let sorted_blocks: Vec<[f64; 16]> = order.iter().map(|&i| blocks[i]).collect();
+            sorted_cols.clear();
+            sorted_cols.extend(order.iter().map(|&i| col_idx[i]));
+            sorted_blocks.clear();
+            sorted_blocks.extend(order.iter().map(|&i| blocks[i]));
             col_idx[start..].copy_from_slice(&sorted_cols);
             blocks[start..].copy_from_slice(&sorted_blocks);
-            for bc in &sorted_cols {
+            for bc in sorted_cols.iter() {
                 marker[*bc as usize] = -1;
             }
             row_ptr[br + 1] = col_idx.len();

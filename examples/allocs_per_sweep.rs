@@ -1,0 +1,265 @@
+//! Count hot-loop allocations per kernel execution, with workspace
+//! reuse off and on — the measurement behind the README "Performance"
+//! table and the walkthrough in `EXPERIMENTS.md` ("Counting
+//! allocations").
+//!
+//! The `cubie` facade installs a counting global allocator
+//! (`cubie::obs::alloc`), so every heap allocation made by this process
+//! bumps a monotonic counter. For each kernel the probe measures three
+//! back-to-back executions of `run()` and three of the analytic
+//! `trace()` builder, and reports `run − trace` as the *hot-loop* count:
+//! `run()` = functional execution + trace, and the trace builder's
+//! allocations are mode-independent bookkeeping, identical whether
+//! arenas are on or off. Inputs are constructed once, outside every
+//! measured window.
+//!
+//! Caveats worth knowing when reading the table:
+//!
+//! * BFS's trace executes the traversal functionally, so its
+//!   subtraction nets ~zero — the BFS arena savings show up in the raw
+//!   `run` column, not the `hot` column.
+//! * SpMV's remaining hot allocations are the DASP bundle vectors,
+//!   which escape into the serializable [`cubie::kernels::spmv`] format
+//!   and cannot ride the arena.
+//! * Workers are pinned to 1 so the process-wide counter attributes
+//!   cleanly to the kernel being measured.
+//!
+//! Run with `cargo run --release --example allocs_per_sweep`.
+
+use cubie::core::{par, workspace, LcgF64, C64};
+use cubie::graph::CsrGraph;
+use cubie::kernels::stencil::{StencilCase, StencilKind};
+use cubie::kernels::{bfs, fft, gemm, gemv, pic, reduction, scan, spgemm, spmv, stencil, Variant};
+use cubie::sparse::{Coo, Csr};
+
+/// Deterministic CSR with empty, short, and block-straddling rows (the
+/// same generator the workspace identity suite uses).
+fn small_csr(rows: usize, cols: usize, seed: u64) -> Csr {
+    let mut rng = LcgF64::new(seed);
+    let mut coo = Coo::new(rows, cols);
+    for r in 0..rows {
+        for i in 0..(r % 37) {
+            coo.push(r, (r * 7 + i * 11) % cols, rng.vec(1)[0]);
+        }
+    }
+    Csr::from_coo(coo)
+}
+
+const ITERS: u64 = 3;
+
+fn main() {
+    let _ = par::set_max_workers(1);
+
+    // Inputs, hoisted: building them allocates identically under both
+    // modes and is not part of any hot loop.
+    let mut rng = LcgF64::new(9);
+    let a = cubie::core::DenseMatrix::random(24, 20, 0xA0);
+    let b = cubie::core::DenseMatrix::random(20, 16, 0xB0);
+    let am = cubie::core::DenseMatrix::random(120, 16, 0xC0);
+    let gx = rng.vec(16);
+    let case = fft::FftCase {
+        h: 16,
+        w: 32,
+        batch: 3,
+    };
+    let grids: Vec<Vec<C64>> = (0..case.batch)
+        .map(|_| {
+            rng.vec(case.points())
+                .into_iter()
+                .map(|re| C64 { re, im: -re * 0.5 })
+                .collect()
+        })
+        .collect();
+    let sc = StencilCase {
+        kind: StencilKind::Star2D1R,
+        dims: (1, 17, 23),
+    };
+    let grid = rng.vec(17 * 23);
+    let xs = rng.vec(1500);
+    let pc = pic::PicCase { n: 60 };
+    let (parts, field) = pic::input(&pc);
+    let edges: Vec<(u32, u32)> = (0..400u32).map(|i| (i % 97, (i * 31 + 7) % 97)).collect();
+    let g = CsrGraph::from_edges(97, &edges, true);
+    let m = small_csr(40, 50, 0xD0);
+    let xv = rng.vec(50);
+    let sq = small_csr(32, 32, 0xE0);
+
+    let v2 = [Variant::Tc, Variant::Baseline];
+    type Probe<'a> = (&'a str, Box<dyn Fn() + 'a>, Box<dyn Fn() + 'a>);
+    let probes: Vec<Probe> = vec![
+        (
+            "gemm",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = gemm::run(&a, &b, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = gemm::trace(
+                        &gemm::GemmCase {
+                            m: 24,
+                            n: 16,
+                            k: 20,
+                        },
+                        v,
+                    );
+                }
+            }),
+        ),
+        (
+            "gemv",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = gemv::run(&am, &gx, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = gemv::trace(&gemv::GemvCase { m: 120, n: 16 }, v);
+                }
+            }),
+        ),
+        (
+            "fft",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = fft::run(&case, &grids, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = fft::trace(&case, v);
+                }
+            }),
+        ),
+        (
+            "stencil",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = stencil::run(&sc, &grid, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = stencil::trace(&sc, v);
+                }
+            }),
+        ),
+        (
+            "scan",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = scan::run(&xs, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = scan::trace(&scan::ScanCase { n: 1500 }, v);
+                }
+            }),
+        ),
+        (
+            "reduction",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = reduction::run(&xs, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = reduction::trace(&reduction::ReductionCase { n: 1500 }, v);
+                }
+            }),
+        ),
+        (
+            "pic",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = pic::run(&pc, &parts, &field, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = pic::trace(&pc, v);
+                }
+            }),
+        ),
+        (
+            "bfs",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = bfs::run(&g, 0, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = bfs::trace(&g, 0, v);
+                }
+            }),
+        ),
+        (
+            "spmv",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = spmv::run(&m, &xv, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = spmv::trace(&m, v);
+                }
+            }),
+        ),
+        (
+            "spgemm",
+            Box::new(|| {
+                for v in v2 {
+                    let _ = spgemm::run(&sq, v);
+                }
+            }),
+            Box::new(|| {
+                for v in v2 {
+                    let _ = spgemm::trace(&sq, v);
+                }
+            }),
+        ),
+    ];
+
+    let mut totals = [[0u64; 3]; 2]; // [mode][run/trace/hot]
+    for (mode, reuse) in [(0usize, false), (1usize, true)] {
+        workspace::set_reuse(reuse);
+        // Warm-up: populate the pools (or none), touch lazy statics.
+        for (_, run, _) in &probes {
+            run();
+        }
+        println!("reuse={reuse}   ({ITERS} iterations, TC + baseline variants, jobs=1)");
+        println!("  {:10} {:>8} {:>8} {:>8}", "kernel", "run", "trace", "hot");
+        for (name, run, trace) in &probes {
+            let b0 = cubie::obs::alloc::total_allocs().0;
+            for _ in 0..ITERS {
+                run();
+            }
+            let b1 = cubie::obs::alloc::total_allocs().0;
+            for _ in 0..ITERS {
+                trace();
+            }
+            let b2 = cubie::obs::alloc::total_allocs().0;
+            let (r, t) = (b1 - b0, b2 - b1);
+            println!("  {name:10} {r:>8} {t:>8} {:>8}", r.saturating_sub(t));
+            totals[mode][0] += r;
+            totals[mode][1] += t;
+        }
+        totals[mode][2] = totals[mode][0] - totals[mode][1];
+        println!(
+            "  {:10} {:>8} {:>8} {:>8}",
+            "TOTAL", totals[mode][0], totals[mode][1], totals[mode][2]
+        );
+    }
+    let (fresh, reused) = (totals[0][2], totals[1][2]);
+    println!(
+        "hot-loop allocations: {fresh} fresh -> {reused} reused \
+         ({:.1}% reduction)",
+        100.0 * (1.0 - reused as f64 / fresh as f64)
+    );
+}

@@ -745,8 +745,12 @@ fn bench_smoke_cmd(rest: &[&String]) {
     );
     for p in &result.phases {
         println!(
-            "    phase {:8} {:6} calls, busy {:8.1} ms",
-            p.phase, p.calls, p.busy_ms
+            "    phase {:8} {:6} calls, busy {:8.1} ms, {:>10} allocs ({:.1} MiB)",
+            p.phase,
+            p.calls,
+            p.busy_ms,
+            p.alloc_count,
+            p.alloc_bytes as f64 / (1024.0 * 1024.0)
         );
     }
     println!(
@@ -771,7 +775,8 @@ fn bench_smoke_cmd(rest: &[&String]) {
         }
     };
     let factor = smoke::smoke_factor();
-    let failures = smoke::check_smoke(&result, &baseline, factor);
+    let failures =
+        smoke::check_smoke_with_allocs(&result, &baseline, factor, smoke::smoke_alloc_factor());
     if failures.is_empty() {
         println!(
             "PASS: wall {:.0} ms within {factor}x of baseline {:.0} ms",
@@ -856,6 +861,15 @@ fn profile_cmd(rest: &[&String]) {
                 } else {
                     format!("{:.1} MiB", a.bytes as f64 / (1024.0 * 1024.0))
                 },
+                if a.alloc_count == 0 {
+                    "-".to_string()
+                } else {
+                    format!(
+                        "{} ({:.1} MiB)",
+                        a.alloc_count,
+                        a.alloc_bytes as f64 / (1024.0 * 1024.0)
+                    )
+                },
                 a.items.to_string(),
             ]
         })
@@ -863,7 +877,7 @@ fn profile_cmd(rest: &[&String]) {
     println!(
         "{}",
         report::markdown_table(
-            &["phase", "label", "calls", "busy", "wall", "bytes", "items"],
+            &["phase", "label", "calls", "busy", "wall", "bytes", "allocs", "items"],
             &rows
         )
     );
@@ -903,6 +917,8 @@ fn profile_cmd(rest: &[&String]) {
                             ("busy_s", a.busy_s.into()),
                             ("wall_s", a.wall_s.into()),
                             ("bytes", a.bytes.into()),
+                            ("alloc_count", a.alloc_count.into()),
+                            ("alloc_bytes", a.alloc_bytes.into()),
                             ("items", a.items.into()),
                         ])
                     })

@@ -47,6 +47,14 @@
 
 #![warn(missing_docs)]
 
+/// Allocation telemetry for everything linking this facade (the `cubie`
+/// CLI, the root integration tests, the examples): every span recorded by
+/// [`obs`] carries `alloc_count` / `alloc_bytes` for its phase, and
+/// `cubie bench-smoke` gates on them. Leaf crates that are used without
+/// the facade don't count (their counters read 0).
+#[global_allocator]
+static ALLOC: cubie_obs::alloc::CountingAlloc = cubie_obs::alloc::CountingAlloc;
+
 pub use cubie_analysis as analysis;
 pub use cubie_bench as bench;
 pub use cubie_core as core;
