@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use cubie_core::par::{par_map, set_max_workers};
+use cubie_core::par::{par_map, par_map_lpt, set_max_workers};
 use cubie_device::{all_devices, DeviceSpec};
 use cubie_kernels::{gemm, prepare_cases, Precision, Variant, Workload};
 use cubie_sim::{time_workload, WorkloadTiming, WorkloadTrace};
@@ -550,44 +550,11 @@ impl Sweep {
     }
 }
 
-/// Longest-processing-time-first dispatch order for `n` items with
-/// per-item cost estimates: indices sorted by `cost` descending, ties
-/// broken by index ascending (so the order is total and deterministic).
-///
-/// Dispatching the heaviest cells first shrinks the makespan of a
-/// bounded worker pool: a multi-second SpGEMM trace started last would
-/// leave every other worker idle behind it, while started first it
-/// overlaps the long tail of cheap cells. The permutation affects
-/// *schedule only* — callers scatter results back to canonical
-/// positions, so output stays bit-identical for any job count.
-pub fn makespan_order(n: usize, cost: impl Fn(usize) -> f64) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        cost(b)
-            .partial_cmp(&cost(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    order
-}
-
-/// [`par_map`] with LPT scheduling: items are *dispatched* in
-/// [`makespan_order`] but *collected* at their original indices, so the
-/// result is element-for-element identical to `par_map(n, f)` — only the
-/// wall-clock schedule differs (sort the keys, never the results).
-fn par_map_lpt<T: Send>(
-    n: usize,
-    cost: impl Fn(usize) -> f64,
-    f: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
-    let order = makespan_order(n, cost);
-    let permuted = par_map(n, |slot| f(order[slot]));
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (slot, item) in permuted.into_iter().enumerate() {
-        out[order[slot]] = Some(item);
-    }
-    out.into_iter().map(|o| o.unwrap()).collect()
-}
+/// LPT dispatch order, re-exported from [`cubie_core::par`] where it
+/// lives so the prep-store cold path and the sparse/graph generators
+/// can schedule by it too. Kept `pub` here for the existing bench API
+/// surface.
+pub use cubie_core::par::makespan_order;
 
 /// Runs the configured cross-product through the cache, in parallel.
 pub struct SweepRunner {

@@ -29,7 +29,11 @@
 //!   workloads.
 //! * [`par`] — data-parallel helpers used by the functional executions
 //!   of the workloads, running on the persistent worker pool in
-//!   [`pool`].
+//!   [`pool`]; includes LPT (longest-first) scheduling that reorders
+//!   dispatch without changing any result bit.
+//! * [`mmap`] / [`slab`] — read-only file mappings and the
+//!   owned-or-mapped [`slab::Slab`] buffers under prepared cases, so
+//!   snapshot-store hits serve kernel inputs zero-copy from disk.
 //! * [`simd`] — SIMD-width implementations of the dominant inner loops
 //!   (strided MMA core, CSR SpMV row, stencil star row) with runtime
 //!   dispatch across scalar/AVX2/AVX-512/NEON, every path bit-identical
@@ -47,11 +51,13 @@ pub mod error;
 pub mod frag;
 pub mod matrix;
 pub mod mma;
+pub mod mmap;
 pub mod par;
 pub mod pool;
 pub mod rng;
 pub mod scalar;
 pub mod simd;
+pub mod slab;
 pub mod workspace;
 
 pub use complex::C64;

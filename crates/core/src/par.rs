@@ -109,6 +109,45 @@ where
     out
 }
 
+/// Longest-processing-time-first dispatch order for `n` items with
+/// per-item cost estimates: indices sorted by `cost` descending, ties
+/// broken by index ascending (so the order is total and deterministic).
+///
+/// Dispatching the heaviest items first shrinks the makespan of a
+/// bounded worker pool: a multi-second item started last would leave
+/// every other worker idle behind it, while started first it overlaps
+/// the long tail of cheap items. The permutation affects *schedule
+/// only* — callers scatter results back to canonical positions, so
+/// output stays bit-identical for any job count.
+pub fn makespan_order(n: usize, cost: impl Fn(usize) -> f64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        cost(b)
+            .partial_cmp(&cost(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// [`par_map`] with LPT scheduling: items are *dispatched* in
+/// [`makespan_order`] but *collected* at their original indices, so the
+/// result is element-for-element identical to `par_map(n, f)` — only the
+/// wall-clock schedule differs (sort the keys, never the results).
+pub fn par_map_lpt<T: Send>(
+    n: usize,
+    cost: impl Fn(usize) -> f64,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let order = makespan_order(n, cost);
+    let permuted = par_map(n, |slot| f(order[slot]));
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (slot, item) in permuted.into_iter().enumerate() {
+        out[order[slot]] = Some(item);
+    }
+    out.into_iter().map(|o| o.unwrap()).collect()
+}
+
 /// Apply `f` to equally sized chunks of `data` in parallel;
 /// `f(chunk_index, chunk)` sees disjoint mutable sub-slices.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)

@@ -1,0 +1,297 @@
+//! Owned-or-mapped typed buffers: the zero-copy layer under prepared
+//! cases.
+//!
+//! A [`Slab<T>`] is the storage behind CSR/graph index and value arrays.
+//! Freshly generated cases own their data (`Vec<T>`); cases loaded from
+//! the prepared-input snapshot store borrow it straight out of an
+//! [`mmap`](crate::mmap::Mapping) of the snapshot file. Both deref to
+//! `&[T]`, so kernels see the exact same slices either way and the
+//! bit-identity gates can compare the two paths directly.
+//!
+//! Mapped slabs share the underlying [`Mapping`] through an `Arc`, so
+//! cloning a case loaded from the store is O(1) and several cases can
+//! borrow disjoint windows of one file. [`Slab::make_mut`] provides the
+//! copy-on-write escape hatch for the rare paths that must mutate.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::mmap::Mapping;
+
+mod sealed {
+    /// Sealed marker: types that may be reinterpreted from little-endian
+    /// snapshot bytes. Only plain fixed-layout numeric types qualify.
+    pub trait Pod: Copy + 'static {}
+    impl Pod for u8 {}
+    impl Pod for u32 {}
+    impl Pod for u64 {}
+    impl Pod for usize {}
+    impl Pod for f64 {}
+}
+
+/// Plain-old-data element types a [`Slab`] can hold (sealed: `u8`,
+/// `u32`, `u64`, `usize`, `f64`).
+pub trait Pod: sealed::Pod {}
+impl<T: sealed::Pod> Pod for T {}
+
+/// A typed buffer that is either owned (`Vec<T>`) or a borrowed window
+/// of a shared read-only file mapping.
+pub enum Slab<T: Pod> {
+    /// Heap-owned storage — the fresh-generation path.
+    Owned(Vec<T>),
+    /// A `len`-element window starting `off` bytes into `map` — the
+    /// snapshot-store warm path.
+    Mapped {
+        /// The shared file mapping the elements live in.
+        map: Arc<Mapping>,
+        /// Byte offset of element 0 within the mapping (must be aligned
+        /// to `align_of::<T>()`).
+        off: usize,
+        /// Number of `T` elements in the window.
+        len: usize,
+    },
+}
+
+impl<T: Pod> Slab<T> {
+    /// An empty owned slab.
+    pub fn new() -> Self {
+        Slab::Owned(Vec::new())
+    }
+
+    /// Borrow a `len`-element window of `map` starting at byte offset
+    /// `off`, without copying. Fails (with a description) if the window
+    /// is misaligned for `T` or runs past the end of the mapping — the
+    /// store treats that as a corrupt snapshot, never a panic.
+    pub fn from_mapping(map: Arc<Mapping>, off: usize, len: usize) -> Result<Self, String> {
+        let align = std::mem::align_of::<T>();
+        let size = std::mem::size_of::<T>();
+        let bytes = len
+            .checked_mul(size)
+            .ok_or_else(|| "slab window length overflows".to_string())?;
+        let end = off
+            .checked_add(bytes)
+            .ok_or_else(|| "slab window offset overflows".to_string())?;
+        if end > map.len() {
+            return Err(format!(
+                "slab window [{off}, {end}) exceeds mapping of {} bytes",
+                map.len()
+            ));
+        }
+        let base = map.bytes().as_ptr() as usize;
+        if !(base + off).is_multiple_of(align) {
+            return Err(format!(
+                "slab window at byte {off} misaligned for align-{align} elements"
+            ));
+        }
+        Ok(Slab::Mapped { map, off, len })
+    }
+
+    /// The elements as a slice (identical for owned and mapped slabs).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Slab::Owned(v) => v,
+            Slab::Mapped { map, off, len } => {
+                // SAFETY: `from_mapping` validated alignment and bounds
+                // against the immutable mapping, which `map` keeps alive;
+                // `T` is sealed Pod so every bit pattern is a valid value.
+                unsafe {
+                    std::slice::from_raw_parts(map.bytes().as_ptr().add(*off).cast::<T>(), *len)
+                }
+            }
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Slab::Owned(v) => v.len(),
+            Slab::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// Whether the slab holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements borrow from a file mapping (false: owned).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Slab::Mapped { .. })
+    }
+
+    /// Copy-on-write mutable access: a mapped slab is first copied into
+    /// owned storage, then the owned `Vec` is returned for mutation.
+    pub fn make_mut(&mut self) -> &mut Vec<T> {
+        if let Slab::Mapped { .. } = self {
+            *self = Slab::Owned(self.as_slice().to_vec());
+        }
+        match self {
+            Slab::Owned(v) => v,
+            Slab::Mapped { .. } => unreachable!("just converted to owned"),
+        }
+    }
+
+    /// Convert into an owned `Vec`, copying if currently mapped.
+    pub fn into_vec(self) -> Vec<T> {
+        match self {
+            Slab::Owned(v) => v,
+            Slab::Mapped { .. } => self.as_slice().to_vec(),
+        }
+    }
+}
+
+impl<T: Pod> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Slab<T> {
+    fn from(v: Vec<T>) -> Self {
+        Slab::Owned(v)
+    }
+}
+
+impl<T: Pod> Deref for Slab<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> Clone for Slab<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Slab::Owned(v) => Slab::Owned(v.clone()),
+            Slab::Mapped { map, off, len } => Slab::Mapped {
+                map: Arc::clone(map),
+                off: *off,
+                len: *len,
+            },
+        }
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_mapped() {
+            f.write_str("mapped:")?;
+        }
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for Slab<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Pod + Eq> Eq for Slab<T> {}
+
+impl<T: Pod + PartialEq> PartialEq<Vec<T>> for Slab<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq<Slab<T>> for Vec<T> {
+    fn eq(&self, other: &Slab<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::File;
+    use std::io::Write;
+
+    fn mapping_of(bytes: &[u8], tag: &str) -> Arc<Mapping> {
+        let path =
+            std::env::temp_dir().join(format!("cubie_slab_test_{}_{tag}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        f.sync_all().unwrap();
+        let mut f = File::open(&path).unwrap();
+        let m = Mapping::of_file(&mut f).unwrap();
+        let _ = std::fs::remove_file(path);
+        Arc::new(m)
+    }
+
+    #[test]
+    fn owned_slab_derefs_like_vec() {
+        let s: Slab<u32> = vec![1, 2, 3].into();
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_mapped());
+        assert_eq!(s, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mapped_slab_reinterprets_le_bytes() {
+        let vals = [1.5f64, -2.25, 1e300];
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let map = mapping_of(&bytes, "f64");
+        let s: Slab<f64> = Slab::from_mapping(map, 0, 3).unwrap();
+        assert!(s.is_mapped());
+        if cfg!(target_endian = "little") {
+            assert_eq!(&s[..], &vals);
+        }
+    }
+
+    #[test]
+    fn from_mapping_rejects_out_of_bounds_and_misaligned() {
+        let map = mapping_of(&[0u8; 64], "bounds");
+        assert!(Slab::<u64>::from_mapping(Arc::clone(&map), 0, 9).is_err());
+        assert!(Slab::<u64>::from_mapping(Arc::clone(&map), 3, 1).is_err());
+        assert!(Slab::<u64>::from_mapping(Arc::clone(&map), usize::MAX, 1).is_err());
+        assert!(Slab::<u64>::from_mapping(map, 0, 8).is_ok());
+    }
+
+    #[test]
+    fn make_mut_copies_on_write() {
+        let bytes = 7u64.to_le_bytes();
+        let map = mapping_of(&bytes, "cow");
+        let mut s: Slab<u64> = Slab::from_mapping(map, 0, 1).unwrap();
+        assert!(s.is_mapped());
+        s.make_mut()[0] = 9;
+        assert!(!s.is_mapped());
+        assert_eq!(&s[..], &[9]);
+    }
+
+    #[test]
+    fn clone_of_mapped_shares_the_mapping() {
+        let bytes = [0u8; 32];
+        let map = mapping_of(&bytes, "share");
+        let s: Slab<u32> = Slab::from_mapping(Arc::clone(&map), 0, 4).unwrap();
+        let c = s.clone();
+        assert!(c.is_mapped());
+        assert_eq!(s, c);
+        // 1 local + 2 slabs hold the Arc
+        assert_eq!(Arc::strong_count(&map), 3);
+    }
+
+    #[test]
+    fn equality_across_representations() {
+        let mut bytes = Vec::new();
+        for v in [3u32, 1, 4, 1, 5] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let map = mapping_of(&bytes, "eq");
+        let mapped: Slab<u32> = Slab::from_mapping(map, 0, 5).unwrap();
+        let owned: Slab<u32> = vec![3, 1, 4, 1, 5].into();
+        if cfg!(target_endian = "little") {
+            assert_eq!(mapped, owned);
+            assert_eq!(mapped, vec![3, 1, 4, 1, 5]);
+        }
+        let _ = owned;
+    }
+}

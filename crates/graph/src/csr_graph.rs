@@ -1,17 +1,22 @@
 //! Adjacency in CSR form plus the serial reference BFS.
 
+use cubie_core::slab::Slab;
 use serde::{Deserialize, Serialize};
 
 /// An unweighted directed graph in CSR adjacency form. Undirected graphs
 /// store both arc directions (as SuiteSparse edge counts do).
+///
+/// The offset and adjacency arrays live in [`Slab`]s: freshly generated
+/// graphs own their storage, graphs loaded from the prepared-input
+/// snapshot store borrow it zero-copy out of an mmap.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CsrGraph {
     /// Number of vertices.
     pub n: usize,
     /// Offsets into `adj`, length `n + 1`.
-    pub offsets: Vec<usize>,
+    pub offsets: Slab<usize>,
     /// Concatenated neighbour lists.
-    pub adj: Vec<u32>,
+    pub adj: Slab<u32>,
 }
 
 impl CsrGraph {
@@ -39,12 +44,24 @@ impl CsrGraph {
         for i in 0..n {
             deg[i + 1] += deg[i];
         }
-        let adj = arcs.into_iter().map(|(_, v)| v).collect();
+        let adj: Vec<u32> = arcs.into_iter().map(|(_, v)| v).collect();
         Self {
             n,
-            offsets: deg,
-            adj,
+            offsets: deg.into(),
+            adj: adj.into(),
         }
+    }
+
+    /// Assemble from already-built CSR adjacency arrays (the
+    /// snapshot-store load path hands in mapped slabs).
+    pub fn from_parts(n: usize, offsets: Slab<usize>, adj: Slab<u32>) -> Self {
+        assert_eq!(offsets.len(), n + 1, "offsets length mismatch");
+        Self { n, offsets, adj }
+    }
+
+    /// Whether the offset/adjacency arrays borrow from a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.adj.is_mapped()
     }
 
     /// Number of stored arcs (directed edges).

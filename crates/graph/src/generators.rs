@@ -229,11 +229,19 @@ pub fn community_graph(
 }
 
 /// All five Table 3 graphs with metadata at the given scale divisor.
+///
+/// Generation fans out across the worker pool, dispatched heaviest
+/// first (LPT by the published arc count, which ranks the scaled costs
+/// too). Each graph is built by its own deterministic generator, so
+/// output order and every bit are identical to the previous serial loop.
 pub fn table3_graphs(scale: usize) -> Vec<(GraphInfo, CsrGraph)> {
-    table3_specs()
-        .into_iter()
-        .map(|info| (info, generate(info.name, scale)))
-        .collect()
+    let specs = table3_specs();
+    let graphs = cubie_core::par::par_map_lpt(
+        specs.len(),
+        |i| specs[i].edges as f64,
+        |i| generate(specs[i].name, scale),
+    );
+    specs.into_iter().zip(graphs).collect()
 }
 
 /// A small diverse corpus of graphs for the Figure 10a coverage study:

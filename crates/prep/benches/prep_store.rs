@@ -1,0 +1,63 @@
+//! `prep-*` criterion group: cold generation vs snapshot loads.
+//!
+//! Quantifies the tentpole claim — a warm mmap load of a Table 4 matrix
+//! should beat regenerating it by a wide margin — and keeps the copied
+//! (no-mmap) load measured so the zero-copy win stays visible.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cubie_prep::{table4_matrices_with, LoadMode, PrepConfig};
+
+const SCALE: usize = 16;
+
+fn bench_cfg(tag: &str) -> PrepConfig {
+    let dir = std::env::temp_dir().join(format!("cubie_prep_bench_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    PrepConfig {
+        enabled: true,
+        dir,
+        mode: LoadMode::Mmap,
+    }
+}
+
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g
+}
+
+/// prep-cold: generate the Table 4 set in memory (no store).
+fn prep_cold_generate(c: &mut Criterion) {
+    let cfg = PrepConfig::disabled();
+    let mut g = quick(c, "prep-cold");
+    g.bench_function("table4_generate", |b| {
+        b.iter(|| std::hint::black_box(table4_matrices_with(&cfg, SCALE)))
+    });
+    g.finish();
+}
+
+/// prep-warm: serve the same set from snapshots, mmap'd vs copied.
+fn prep_warm_load(c: &mut Criterion) {
+    let mut cfg = bench_cfg("warm");
+    // Populate once; every timed iteration is then a pure warm load.
+    let _ = table4_matrices_with(&cfg, SCALE);
+    let mut g = quick(c, "prep-warm");
+    g.bench_function("table4_mmap_load", |b| {
+        b.iter(|| std::hint::black_box(table4_matrices_with(&cfg, SCALE)))
+    });
+    cfg.mode = LoadMode::Copied;
+    g.bench_function("table4_copied_load", |b| {
+        b.iter(|| std::hint::black_box(table4_matrices_with(&cfg, SCALE)))
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+criterion_group!(benches, prep_cold_generate, prep_warm_load);
+criterion_main!(benches);

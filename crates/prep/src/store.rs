@@ -1,0 +1,496 @@
+//! The content-addressed snapshot store under `results/prep/`.
+//!
+//! Same discipline as the `cubied` result store (`crates/serve`), for
+//! binary case snapshots instead of JSON artifacts:
+//!
+//! * **Addressing** — one file per prepared case at
+//!   `<dir>/<16-hex-of-fnv1a64(canonical key)>.bin`; the canonical key
+//!   folds in the store schema, the generator version, and the on-disk
+//!   layout version, so bumping any of them retires every old entry
+//!   (it simply stops being addressable) without a migration.
+//! * **Crash safety** — writes go to a process-unique `.tmp` sibling,
+//!   fsync, rename over the final path, fsync the directory. Two
+//!   processes racing the same key each write their own tmp file and
+//!   the last rename wins with identical bytes (generation is
+//!   deterministic). A kill mid-write leaves a `.tmp` leftover that
+//!   [`PrepStore::open`] sweeps out.
+//! * **Revalidation** — open sweeps `.tmp` files and structurally
+//!   validates every entry (magic, length, checksum, key-hashes-to-
+//!   address); the load path additionally pins the full canonical key.
+//!   Anything invalid is deleted and reported, never served.
+
+use std::fs::{self, File};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cubie_core::mmap::Mapping;
+
+use crate::format::{self, fnv1a64_bytes, Decoded};
+
+/// Snapshot store schema. Bump when the envelope/addressing changes.
+pub const PREP_SCHEMA: &str = "cubie-prep/v1";
+
+/// Version of the deterministic input generators. Bump whenever any
+/// Table 3/4 generator changes its output bits — old snapshots stop
+/// being addressable and regenerate on next use.
+pub const GENERATOR_VERSION: u32 = 1;
+
+/// Version of the on-disk binary layout (`format` module). Bump when
+/// the snapshot byte layout changes.
+pub const LAYOUT_VERSION: u32 = 1;
+
+/// The canonical key of one prepared case, and its address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrepKey {
+    canonical: String,
+    hash: u64,
+}
+
+/// The versioned prefix every currently-valid canonical key starts
+/// with; entries recorded under any other prefix are stale.
+pub fn current_prefix() -> String {
+    format!("{PREP_SCHEMA};gen={GENERATOR_VERSION};layout={LAYOUT_VERSION};")
+}
+
+impl PrepKey {
+    fn new(kind: &str, name: &str, scale: usize) -> PrepKey {
+        let canonical = format!("{}kind={kind};name={name};scale={scale}", current_prefix());
+        let hash = fnv1a64_bytes(canonical.as_bytes());
+        PrepKey { canonical, hash }
+    }
+
+    /// Key of a Table 4 matrix at a scale divisor (shared by SpMV and
+    /// SpGEMM — the input is identical, so one snapshot serves both).
+    pub fn matrix(name: &str, scale: usize) -> PrepKey {
+        PrepKey::new("matrix", name, scale)
+    }
+
+    /// Key of a Table 3 graph at a scale divisor.
+    pub fn graph(name: &str, scale: usize) -> PrepKey {
+        PrepKey::new("graph", name, scale)
+    }
+
+    /// The canonical key string (embedded verbatim in the snapshot).
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 16-hex-digit address (file stem under the store directory).
+    pub fn address(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+/// How snapshot bytes are brought into memory on a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// `mmap` the file and borrow sections zero-copy (the default).
+    Mmap,
+    /// Read the file into an owned buffer (`CUBIE_PREP_MMAP=off`) —
+    /// same decode path, one copy, no page-cache dependence.
+    Copied,
+}
+
+/// A successfully loaded snapshot.
+pub struct Loaded {
+    /// The decoded case.
+    pub case: Decoded,
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+    /// Whether the bytes are served by a live `mmap`.
+    pub mmapped: bool,
+}
+
+/// What [`PrepStore::load`] found.
+pub enum Lookup {
+    /// Valid snapshot decoded (zero-copy when mapped).
+    Hit(Loaded),
+    /// No snapshot at this address.
+    Miss,
+    /// A snapshot existed but failed validation (truncation, checksum,
+    /// key or version skew); it has been deleted and the reason is
+    /// carried for counters/logs. Callers regenerate.
+    Invalidated(String),
+}
+
+/// What [`PrepStore::open`] did while revalidating the directory.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Entries that passed structural validation and were kept.
+    pub kept: usize,
+    /// Total bytes of the kept entries (read during validation — on a
+    /// daemon prewarm this is what pulls the store into the page cache).
+    pub kept_bytes: u64,
+    /// `.tmp` leftovers of interrupted writes, swept out.
+    pub removed_tmp: usize,
+    /// Entries deleted for corruption or version skew.
+    pub removed_invalid: usize,
+}
+
+/// The on-disk snapshot store handle.
+#[derive(Debug)]
+pub struct PrepStore {
+    dir: PathBuf,
+}
+
+/// Monotonic discriminator so concurrent saves from one process never
+/// share a tmp path (the pid separates processes).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn validate_entry(path: &Path, stem: &str) -> Result<u64, String> {
+    let mut file = File::open(path).map_err(|e| format!("unreadable entry: {e}"))?;
+    let map = Mapping::of_file(&mut file).map_err(|e| format!("unmappable entry: {e}"))?;
+    let len = map.len() as u64;
+    let map = Arc::new(map);
+    let decoded = format::decode(Arc::clone(&map), None)?;
+    // Structure is sound; additionally pin address and version prefix.
+    let key = embedded_key(&map)?;
+    if !key.starts_with(&current_prefix()) {
+        return Err(format!(
+            "version skew: entry key `{key}` does not match `{}…`",
+            current_prefix()
+        ));
+    }
+    if format!("{:016x}", fnv1a64_bytes(key.as_bytes())) != stem {
+        return Err(format!("entry key `{key}` does not hash to its address"));
+    }
+    drop(decoded);
+    Ok(len)
+}
+
+/// The canonical key embedded in a (structurally valid) snapshot.
+fn embedded_key(map: &Mapping) -> Result<&str, String> {
+    let bytes = map.bytes();
+    if bytes.len() < 0x40 {
+        return Err("truncated header".into());
+    }
+    let key_len = u32::from_le_bytes(bytes[0x0c..0x10].try_into().unwrap()) as usize;
+    if 0x40 + key_len > bytes.len() {
+        return Err("key runs past end of file".into());
+    }
+    std::str::from_utf8(&bytes[0x40..0x40 + key_len])
+        .map_err(|_| "embedded key is not UTF-8".into())
+}
+
+impl PrepStore {
+    /// Open (creating if needed) the store directory and revalidate its
+    /// contents: sweep `.tmp` leftovers, delete corrupt or
+    /// version-skewed snapshots. Reading every kept entry end to end
+    /// (checksums) doubles as the daemon's prewarm — the surviving
+    /// snapshots are in the page cache when `open` returns.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<(PrepStore, OpenReport)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut report = OpenReport::default();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n.to_string(),
+                None => continue,
+            };
+            if name.ends_with(".tmp") {
+                fs::remove_file(&path)?;
+                report.removed_tmp += 1;
+                continue;
+            }
+            let Some(stem) = name.strip_suffix(".bin") else {
+                continue; // not ours; leave it alone
+            };
+            match validate_entry(&path, stem) {
+                Ok(bytes) => {
+                    report.kept += 1;
+                    report.kept_bytes += bytes;
+                }
+                Err(reason) => {
+                    fs::remove_file(&path)?;
+                    report.removed_invalid += 1;
+                    cubie_obs::log(format!("prep: store dropped {name}: {reason}"));
+                }
+            }
+        }
+        Ok((PrepStore { dir }, report))
+    }
+
+    /// Open the directory **without** revalidating existing entries —
+    /// the per-lookup validation in [`PrepStore::load`] still catches
+    /// anything invalid at the address actually used. This is the
+    /// cheap constructor the generation wrappers use on every call.
+    pub fn open_unchecked(dir: impl Into<PathBuf>) -> io::Result<PrepStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(PrepStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The final on-disk path of a key.
+    pub fn path_for(&self, key: &PrepKey) -> PathBuf {
+        self.dir.join(format!("{}.bin", key.address()))
+    }
+
+    /// Look up a key. Truncated, bit-rotted, skewed, or mismatched
+    /// snapshots are deleted and reported as [`Lookup::Invalidated`] —
+    /// callers treat that as a miss and regenerate.
+    pub fn load(&self, key: &PrepKey, mode: LoadMode) -> Lookup {
+        let path = self.path_for(key);
+        let mut file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Miss,
+            Err(e) => return Lookup::Invalidated(format!("unreadable entry: {e}")),
+        };
+        let map = match mode {
+            LoadMode::Mmap => Mapping::of_file(&mut file),
+            LoadMode::Copied => Mapping::owned_copy(&mut file),
+        };
+        let map = match map {
+            Ok(m) => Arc::new(m),
+            Err(e) => return Lookup::Invalidated(format!("unmappable entry: {e}")),
+        };
+        let bytes = map.len() as u64;
+        let mmapped = map.is_mmap();
+        match format::decode(Arc::clone(&map), Some(key.canonical())) {
+            Ok(case) => Lookup::Hit(Loaded {
+                case,
+                bytes,
+                mmapped,
+            }),
+            Err(reason) => {
+                let _ = fs::remove_file(&path);
+                Lookup::Invalidated(reason)
+            }
+        }
+    }
+
+    /// Persist encoded snapshot bytes under a key, atomically: write to
+    /// a process-unique `.tmp` sibling → fsync → rename over the final
+    /// path → fsync the directory. Concurrent writers of the same key
+    /// never share a tmp file; the last rename wins with identical
+    /// bytes. Returns the final path.
+    pub fn save_bytes(&self, key: &PrepKey, encoded: &[u8]) -> io::Result<PathBuf> {
+        let path = self.path_for(key);
+        let tmp = self.dir.join(format!(
+            "{}.{}.{}.tmp",
+            key.address(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        {
+            let mut f = File::create(&tmp)?;
+            io::Write::write_all(&mut f, encoded)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        // Persist the rename itself: fsync the directory so a crash
+        // immediately after `save` cannot resurrect the old state.
+        File::open(&self.dir)?.sync_all()?;
+        Ok(path)
+    }
+
+    /// Serialize and persist a matrix snapshot.
+    pub fn save_matrix(&self, key: &PrepKey, m: &cubie_sparse::Csr) -> io::Result<PathBuf> {
+        self.save_bytes(key, &format::encode_matrix(key.canonical(), m))
+    }
+
+    /// Serialize and persist a graph snapshot.
+    pub fn save_graph(
+        &self,
+        key: &PrepKey,
+        g: &cubie_graph::csr_graph::CsrGraph,
+    ) -> io::Result<PathBuf> {
+        self.save_bytes(key, &format::encode_graph(key.canonical(), g))
+    }
+
+    /// Number of committed snapshots currently in the store.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().map(|x| x == "bin").unwrap_or(false))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the store holds no committed snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cubie_prep_store_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn matrix() -> cubie_sparse::Csr {
+        cubie_sparse::generators::random_sparse(50, 50, 300, 11)
+    }
+
+    #[test]
+    fn key_addresses_are_stable_and_distinct() {
+        let a = PrepKey::matrix("spmsrts", 64);
+        let b = PrepKey::matrix("spmsrts", 32);
+        let c = PrepKey::graph("spmsrts", 64);
+        assert_eq!(a, PrepKey::matrix("spmsrts", 64));
+        assert_ne!(a.address(), b.address());
+        assert_ne!(a.address(), c.address());
+        assert_eq!(a.address().len(), 16);
+        assert!(a.canonical().starts_with(&current_prefix()));
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let (store, report) = PrepStore::open(&dir).unwrap();
+        assert_eq!(report, OpenReport::default());
+        let key = PrepKey::matrix("test", 4);
+        assert!(matches!(store.load(&key, LoadMode::Mmap), Lookup::Miss));
+        let m = matrix();
+        store.save_matrix(&key, &m).unwrap();
+        match store.load(&key, LoadMode::Mmap) {
+            Lookup::Hit(loaded) => {
+                let Decoded::Matrix(back) = loaded.case else {
+                    panic!("wrong kind");
+                };
+                assert_eq!(back, m);
+                #[cfg(all(unix, target_pointer_width = "64"))]
+                assert!(loaded.mmapped);
+            }
+            _ => panic!("expected hit"),
+        }
+        // Copied mode decodes the same bytes without a live mapping.
+        match store.load(&key, LoadMode::Copied) {
+            Lookup::Hit(loaded) => {
+                assert!(!loaded.mmapped);
+                let Decoded::Matrix(back) = loaded.case else {
+                    panic!("wrong kind");
+                };
+                assert_eq!(back, m);
+            }
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_invalidated_then_missing() {
+        let dir = tmp_dir("corrupt");
+        let (store, _) = PrepStore::open(&dir).unwrap();
+        let key = PrepKey::matrix("test", 4);
+        store.save_matrix(&key, &matrix()).unwrap();
+        let path = store.path_for(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load(&key, LoadMode::Mmap),
+            Lookup::Invalidated(_)
+        ));
+        assert!(!path.exists(), "invalidated snapshot must be deleted");
+        assert!(matches!(store.load(&key, LoadMode::Mmap), Lookup::Miss));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_tmp_and_invalid_entries() {
+        let dir = tmp_dir("sweep");
+        let (store, _) = PrepStore::open(&dir).unwrap();
+        let key = PrepKey::matrix("test", 4);
+        store.save_matrix(&key, &matrix()).unwrap();
+        fs::write(dir.join("0123456789abcdef.0.0.tmp"), "partial").unwrap();
+        fs::write(dir.join("00000000deadbeef.bin"), "not a snapshot").unwrap();
+        fs::write(dir.join("README"), "unrelated file, left alone").unwrap();
+        let (_, report) = PrepStore::open(&dir).unwrap();
+        assert_eq!(report.kept, 1);
+        assert!(report.kept_bytes > 0);
+        assert_eq!(report.removed_tmp, 1);
+        assert_eq!(report.removed_invalid, 1);
+        assert!(store.path_for(&key).exists());
+        assert!(dir.join("README").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skewed_entry_is_dropped_at_open_and_load() {
+        let dir = tmp_dir("skew");
+        let (store, _) = PrepStore::open(&dir).unwrap();
+        let key = PrepKey::matrix("test", 4);
+        store.save_matrix(&key, &matrix()).unwrap();
+        // Doctor the snapshot as a previous generator version would have
+        // written it: rewrite the embedded key (same length, so the
+        // structure stays sound) and recompute nothing else — the load
+        // path must reject it on the key, not the checksum.
+        let path = store.path_for(&key);
+        let text = format!("gen={GENERATOR_VERSION}");
+        let mut bytes = fs::read(&path).unwrap();
+        let pos = bytes
+            .windows(text.len())
+            .position(|w| w == text.as_bytes())
+            .unwrap();
+        bytes[pos + 4] = b'0'; // gen=1 → gen=0
+        fs::write(&path, &bytes).unwrap();
+        match store.load(&key, LoadMode::Mmap) {
+            Lookup::Invalidated(reason) => assert!(reason.contains("key mismatch"), "{reason}"),
+            _ => panic!("expected invalidation"),
+        }
+        assert!(!path.exists());
+        // Same doctored entry dropped by open-time revalidation too.
+        store.save_matrix(&key, &matrix()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[pos + 4] = b'0';
+        fs::write(&path, &bytes).unwrap();
+        let (_, report) = PrepStore::open(&dir).unwrap();
+        assert_eq!(report.removed_invalid, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_key_both_succeed() {
+        let dir = tmp_dir("race");
+        let (store, _) = PrepStore::open(&dir).unwrap();
+        let store = std::sync::Arc::new(store);
+        let key = PrepKey::matrix("race", 4);
+        let m = matrix();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = std::sync::Arc::clone(&store);
+                let key = key.clone();
+                let m = m.clone();
+                std::thread::spawn(move || store.save_matrix(&key, &m).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        match store.load(&key, LoadMode::Mmap) {
+            Lookup::Hit(loaded) => {
+                let Decoded::Matrix(back) = loaded.case else {
+                    panic!("wrong kind");
+                };
+                assert_eq!(back, m);
+            }
+            _ => panic!("expected hit after racing saves"),
+        }
+        // No tmp leftovers once every writer has finished.
+        let tmps = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().to_string_lossy().ends_with(".tmp"))
+            .count();
+        assert_eq!(tmps, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

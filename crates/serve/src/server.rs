@@ -236,6 +236,25 @@ impl Daemon {
         cubie_obs::counter_add("serve.store_swept_tmp", report.removed_tmp as u64);
         cubie_obs::counter_add("serve.store_invalidated", report.removed_invalid as u64);
 
+        // Prewarm the prepared-input store: revalidate every snapshot
+        // (checksumming reads each byte, populating the page cache) and
+        // sweep stale `.tmp` / invalid entries, so the first sweep a
+        // client submits mmaps its inputs instead of regenerating them.
+        let prep_cfg = cubie_prep::PrepConfig::from_env();
+        if prep_cfg.enabled {
+            let prep = cubie_prep::prewarm(&prep_cfg);
+            cubie_obs::log(format!(
+                "cubied: prep store {} — {} snapshots ({} bytes) prewarmed, {} tmp swept, {} invalidated",
+                prep_cfg.dir.display(),
+                prep.kept,
+                prep.kept_bytes,
+                prep.removed_tmp,
+                prep.removed_invalid
+            ));
+        } else {
+            cubie_obs::log("cubied: prep store disabled (CUBIE_PREP_CACHE=off)".to_string());
+        }
+
         let daemon = Arc::new(Daemon {
             cfg,
             store,

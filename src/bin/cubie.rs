@@ -720,6 +720,47 @@ fn golden_list() {
     println!("store: {}", dir.display());
 }
 
+/// Cold-vs-warm verdict on the prepared-input store after a sweep,
+/// printed by `cubie profile` and `cubie bench-smoke`: snapshot hits
+/// mean the `prepare` phase was served zero-copy from mmap'd snapshots
+/// under `results/prep`; misses mean it paid generation and recorded a
+/// snapshot for the next run. `prepare_busy_s` is this run's measured
+/// `prepare` busy time, so cold and warm invocations can be compared
+/// directly from their output.
+fn prep_store_line(prepare_busy_s: f64) -> String {
+    let cfg = cubie::prep::PrepConfig::from_env();
+    if !cfg.enabled {
+        return format!(
+            "prepare: cold every run (CUBIE_PREP_CACHE=off) — busy {}",
+            report::seconds(prepare_busy_s)
+        );
+    }
+    let hits = cubie::obs::counter_get("prep.hit");
+    let misses = cubie::obs::counter_get("prep.miss");
+    if hits == 0 && misses == 0 {
+        return format!(
+            "prepare: no snapshot-backed inputs in this run — busy {}",
+            report::seconds(prepare_busy_s)
+        );
+    }
+    let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+    let verdict = if misses == 0 {
+        "warm"
+    } else if hits == 0 {
+        "cold"
+    } else {
+        "mixed"
+    };
+    format!(
+        "prepare: {verdict} — {hits} snapshot hit(s) ({:.1} MiB zero-copy), \
+         {misses} miss(es) ({:.1} MiB recorded), busy {} (store {})",
+        mib(cubie::obs::counter_get("prep.bytes_mapped")),
+        mib(cubie::obs::counter_get("prep.bytes_written")),
+        report::seconds(prepare_busy_s),
+        cfg.dir.display()
+    )
+}
+
 fn bench_smoke_cmd(rest: &[&String]) {
     let record = rest.iter().any(|a| a.as_str() == "--record");
     println!(
@@ -757,6 +798,13 @@ fn bench_smoke_cmd(rest: &[&String]) {
         "  simd path {}: {:.2}x vs scalar (strided MMA core)",
         result.simd_path, result.simd_ratio
     );
+    let prepare_busy_s = result
+        .phases
+        .iter()
+        .filter(|p| p.phase == "prepare")
+        .map(|p| p.busy_ms * 1e-3)
+        .sum::<f64>();
+    println!("  {}", prep_store_line(prepare_busy_s));
     let out = report::results_dir().join("BENCH_sweep.json");
     write_or_fail(&out, &result.to_json().to_pretty_string());
     println!("wrote {}", out.display());
@@ -887,6 +935,10 @@ fn profile_cmd(rest: &[&String]) {
         report::seconds(wall_s),
         spans.len(),
         cubie::core::pool::worker_count()
+    );
+    println!(
+        "{}",
+        prep_store_line(cubie::obs::busy_of(&spans, &["prepare"]))
     );
 
     let results = report::results_dir();

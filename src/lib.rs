@@ -26,6 +26,9 @@
 //!   tolerance-aware golden differ behind `cubie golden record|check`.
 //! * [`obs`] — the always-compiled span/counter instrumentation layer
 //!   behind `cubie profile` (phase hotspots + Chrome traces).
+//! * [`prep`] — the persistent prepared-input store: content-addressed
+//!   mmap-backed snapshots of the Table 3/4 inputs under `results/prep`,
+//!   served zero-copy on warm starts, generated in parallel on cold ones.
 //! * [`serve`] — `cubied`, the sweep-as-a-service daemon: line-delimited
 //!   JSON over a unix socket, request dedup, admission control, and a
 //!   content-addressed result store (`cubie serve` / `cubie client`).
@@ -63,6 +66,7 @@ pub use cubie_golden as golden;
 pub use cubie_graph as graph;
 pub use cubie_kernels as kernels;
 pub use cubie_obs as obs;
+pub use cubie_prep as prep;
 pub use cubie_serve as serve;
 pub use cubie_sim as sim;
 pub use cubie_sparse as sparse;

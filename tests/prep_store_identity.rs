@@ -1,0 +1,448 @@
+//! Prepared-input store bit-identity suite: inputs served from the
+//! snapshot store — cold (generate + record), warm (mmap'd zero-copy
+//! view), warm-copied (`CUBIE_PREP_MMAP=off`) — must be bit-identical
+//! to a fresh in-memory generation, and so must everything computed
+//! from them. Corrupted, truncated, or version-skewed snapshots are
+//! detected at open, deleted, and regenerated — never a panic, never a
+//! silently wrong input.
+//!
+//! Three tiers:
+//!
+//! 1. in-process digests: Table 4 matrices + Table 3 graphs and the
+//!    SpMV/SpGEMM/BFS outputs computed from them, fresh vs cold-store
+//!    vs warm-mmap vs warm-copied;
+//! 2. sabotage: doctored version-skew keys, bit-rotted payloads,
+//!    truncated files, and stray `.tmp`s must all be invalidated and
+//!    regenerated with the digest unchanged;
+//! 3. subprocess probes: the digest is re-derived under
+//!    `CUBIE_PREP_CACHE` off/on × every forced `CUBIE_SIMD` path ×
+//!    worker counts {1, 2, 8} (one shared store across paths — a
+//!    snapshot recorded under the scalar path must serve the AVX2 run
+//!    bit-identically), plus two processes racing cold on the same
+//!    store directory.
+
+use std::path::{Path, PathBuf};
+
+use cubie::graph::generators::GraphInfo;
+use cubie::graph::CsrGraph;
+use cubie::kernels::{bfs, spgemm, spmv, Variant};
+use cubie::prep::{self, LoadMode, PrepConfig};
+use cubie::sparse::generators::MatrixInfo;
+use cubie::sparse::Csr;
+
+/// Matrix/graph scales of the suite: cheap enough for CI, large enough
+/// that every Table 4/Table 3 entry has non-trivial structure.
+const SPARSE_SCALE: usize = 64;
+const GRAPH_SCALE: usize = 512;
+
+/// FNV-1a over a byte stream.
+fn fnv(h: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+    for b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x1_0000_01B3);
+    }
+}
+
+fn fold_f64(h: &mut u64, vals: &[f64]) {
+    for v in vals {
+        fnv(h, v.to_bits().to_le_bytes());
+    }
+}
+
+fn fold_usize(h: &mut u64, vals: &[usize]) {
+    for v in vals {
+        fnv(h, (*v as u64).to_le_bytes());
+    }
+}
+
+fn fold_u32(h: &mut u64, vals: &[u32]) {
+    for v in vals {
+        fnv(h, v.to_le_bytes());
+    }
+}
+
+/// Every input bit plus every output bit computed from the inputs: the
+/// five Table 4 matrices (structure + values + SpMV + SpGEMM) and the
+/// five Table 3 graphs (structure + BFS levels).
+fn table_digest(matrices: &[(MatrixInfo, Csr)], graphs: &[(GraphInfo, CsrGraph)]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for (info, m) in matrices {
+        fnv(&mut h, info.name.bytes());
+        fold_usize(&mut h, &[m.rows, m.cols]);
+        fold_usize(&mut h, &m.row_ptr);
+        fold_u32(&mut h, &m.col_idx);
+        fold_f64(&mut h, &m.vals);
+        let x: Vec<f64> = (0..m.cols).map(|i| (i % 13) as f64 * 0.25 - 1.0).collect();
+        let (y, _) = spmv::run(m, &x, Variant::Tc);
+        fold_f64(&mut h, &y);
+    }
+    // SpGEMM on the smallest matrix only (A·A is quadratic in nnz).
+    let (_, smallest) = matrices
+        .iter()
+        .min_by_key(|(_, m)| m.nnz())
+        .expect("non-empty table");
+    let (c, _) = spgemm::run(smallest, Variant::Tc);
+    fold_usize(&mut h, &c.row_ptr);
+    fold_u32(&mut h, &c.col_idx);
+    fold_f64(&mut h, &c.vals);
+    for (info, g) in graphs {
+        fnv(&mut h, info.name.bytes());
+        fold_usize(&mut h, &[g.n, g.num_arcs()]);
+        fold_usize(&mut h, &g.offsets);
+        fold_u32(&mut h, &g.adj);
+        let (levels, _) = bfs::run(g, g.max_degree_vertex(), Variant::Tc);
+        let flat: Vec<f64> = levels.iter().map(|&l| l as f64).collect();
+        fold_f64(&mut h, &flat);
+    }
+    h
+}
+
+fn digest_with(cfg: &PrepConfig) -> (u64, prep::LoadReport, prep::LoadReport) {
+    let (matrices, mrep) = prep::table4_matrices_with(cfg, SPARSE_SCALE);
+    let (graphs, grep) = prep::table3_graphs_with(cfg, GRAPH_SCALE);
+    (table_digest(&matrices, &graphs), mrep, grep)
+}
+
+/// A unique store directory per test (and per process, for the racing
+/// subprocesses), removed on drop.
+struct TempStore(PathBuf);
+
+impl TempStore {
+    fn new(tag: &str) -> TempStore {
+        let dir =
+            std::env::temp_dir().join(format!("cubie_prep_identity_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempStore(dir)
+    }
+
+    fn cfg(&self, mode: LoadMode) -> PrepConfig {
+        PrepConfig {
+            enabled: true,
+            dir: self.0.clone(),
+            mode,
+        }
+    }
+
+    fn snapshot_files(&self) -> Vec<PathBuf> {
+        let mut out: Vec<PathBuf> = std::fs::read_dir(&self.0)
+            .expect("store dir exists")
+            .filter_map(|e| Some(e.ok()?.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tmp_leftovers(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Fresh generation, cold store (generate + record), warm mmap load,
+/// and warm copied load all produce the same input and output bits —
+/// and the warm runs really are served from snapshots, zero-copy where
+/// the platform allows it.
+#[test]
+fn fresh_cold_warm_digests_are_bit_identical() {
+    let store = TempStore::new("fresh_cold_warm");
+
+    let (fresh, _, _) = digest_with(&PrepConfig::disabled());
+
+    let cfg = store.cfg(LoadMode::Mmap);
+    let (cold, cold_m, cold_g) = digest_with(&cfg);
+    assert_eq!(cold_m.hits, 0, "first run must be a full miss");
+    assert_eq!(cold_m.misses, 5);
+    assert_eq!(cold_g.misses, 5);
+    assert!(cold_m.bytes_written > 0, "cold run must record snapshots");
+    assert_eq!(store.snapshot_files().len(), 10, "5 matrices + 5 graphs");
+    assert_eq!(tmp_leftovers(&store.0), 0, "atomic writes leave no .tmp");
+
+    let (warm, warm_m, warm_g) = digest_with(&cfg);
+    assert_eq!((warm_m.hits, warm_m.misses), (5, 0), "second run all hits");
+    assert_eq!((warm_g.hits, warm_g.misses), (5, 0));
+    assert!(warm_m.bytes_loaded > 0);
+
+    let (copied, copied_m, _) = digest_with(&store.cfg(LoadMode::Copied));
+    assert_eq!((copied_m.hits, copied_m.misses), (5, 0));
+
+    assert_eq!(fresh, cold, "cold store run diverged from fresh generation");
+    assert_eq!(fresh, warm, "warm mmap run diverged from fresh generation");
+    assert_eq!(
+        fresh, copied,
+        "warm copied run diverged from fresh generation"
+    );
+
+    // The warm mmap matrices are really zero-copy views on LE 64-bit.
+    if cubie::prep::format::ZERO_COPY_OK {
+        let (matrices, _) = prep::table4_matrices_with(&cfg, SPARSE_SCALE);
+        assert!(
+            matrices.iter().all(|(_, m)| m.is_mapped()),
+            "warm mmap loads must borrow the snapshot, not copy it"
+        );
+    }
+}
+
+/// A snapshot whose embedded key carries a different generator version
+/// (a doctored `gen=` field) is invalidated at open — deleted and
+/// regenerated, digest unchanged.
+#[test]
+fn version_skew_is_invalidated_and_regenerated() {
+    let store = TempStore::new("version_skew");
+    let cfg = store.cfg(LoadMode::Mmap);
+    let (fresh, _, _) = digest_with(&cfg);
+
+    // Doctor every snapshot: flip `gen=1` to `gen=0` in the embedded
+    // key, simulating files recorded by an older generator.
+    let mut doctored = 0;
+    for path in store.snapshot_files() {
+        let mut bytes = std::fs::read(&path).unwrap();
+        if let Some(pos) = bytes.windows(5).position(|w| w == b"gen=1") {
+            bytes[pos + 4] = b'0';
+            std::fs::write(&path, &bytes).unwrap();
+            doctored += 1;
+        }
+    }
+    assert_eq!(doctored, 10, "every snapshot embeds its generator version");
+
+    let (redone, m, g) = digest_with(&cfg);
+    assert_eq!(fresh, redone, "regeneration after skew diverged");
+    assert_eq!(m.hits + g.hits, 0, "skewed snapshots must not serve hits");
+    assert_eq!(
+        m.invalidated + g.invalidated,
+        10,
+        "every doctored snapshot must be invalidated"
+    );
+
+    // The re-recorded snapshots serve hits again.
+    let (rewarm, m2, g2) = digest_with(&cfg);
+    assert_eq!(fresh, rewarm);
+    assert_eq!(m2.hits + g2.hits, 10);
+}
+
+/// Bit-rot in a payload, a truncated file, and a stray `.tmp` from a
+/// crashed writer: all detected (checksum/length at open, sweep at
+/// revalidation), none panic, none serve wrong bits.
+#[test]
+fn corruption_and_truncation_fall_back_to_regeneration() {
+    let store = TempStore::new("corruption");
+    let cfg = store.cfg(LoadMode::Mmap);
+    let (fresh, _, _) = digest_with(&cfg);
+
+    let files = store.snapshot_files();
+    assert!(files.len() >= 3);
+
+    // File 0: flip one payload bit (past the 0x40-byte header + key).
+    let mut bytes = std::fs::read(&files[0]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&files[0], &bytes).unwrap();
+
+    // File 1: truncate to half.
+    let bytes = std::fs::read(&files[1]).unwrap();
+    std::fs::write(&files[1], &bytes[..bytes.len() / 2]).unwrap();
+
+    // File 2: empty out entirely.
+    std::fs::write(&files[2], b"").unwrap();
+
+    // A stray .tmp from a writer that died mid-record.
+    let stray = store.0.join("00000000deadbeef.12345.0.tmp");
+    std::fs::write(&stray, b"partial snapshot").unwrap();
+
+    let (redone, m, g) = digest_with(&cfg);
+    assert_eq!(fresh, redone, "regeneration after corruption diverged");
+    assert_eq!(
+        m.invalidated + g.invalidated,
+        3,
+        "all three sabotaged snapshots must be invalidated"
+    );
+    assert_eq!(m.hits + g.hits, 7, "intact snapshots still serve");
+
+    // Startup revalidation (what `cubied` runs) sweeps the stray .tmp
+    // and confirms every re-recorded snapshot checks out.
+    let report = prep::prewarm(&cfg);
+    assert!(!stray.exists(), "prewarm must sweep stray .tmp files");
+    assert_eq!(report.removed_tmp, 1);
+    assert_eq!(report.kept, 10);
+    assert_eq!(report.removed_invalid, 0);
+}
+
+/// A store rooted somewhere unusable degrades to in-memory generation
+/// with the same bits — never a panic, never a partial result.
+#[test]
+fn unusable_store_dir_degrades_to_generation() {
+    let (fresh, _, _) = digest_with(&PrepConfig::disabled());
+    // A *file* where the store directory should be: create_dir_all fails.
+    let blocker = std::env::temp_dir().join(format!(
+        "cubie_prep_identity_blocker_{}",
+        std::process::id()
+    ));
+    std::fs::write(&blocker, b"i am a file, not a directory").unwrap();
+    let cfg = PrepConfig {
+        enabled: true,
+        dir: blocker.join("prep"),
+        mode: LoadMode::Mmap,
+    };
+    let (degraded, m, _) = digest_with(&cfg);
+    let _ = std::fs::remove_file(&blocker);
+    assert_eq!(fresh, degraded, "degraded mode diverged from fresh bits");
+    assert_eq!(m.hits, 0);
+}
+
+// ---------------------------------------------------------------------
+// Subprocess tiers: forced-SIMD × jobs × cache cube, and racing cold
+// starts. `CUBIE_SIMD` resolves once per process, so each forcing runs
+// this binary against the `#[ignore]`d probe below.
+// ---------------------------------------------------------------------
+
+/// Worker counts the probe sweeps (serial fast path, small pool,
+/// oversubscribed pool) — the acceptance matrix of the store work.
+const PROBE_JOBS: [usize; 3] = [1, 2, 8];
+
+/// Re-derives the table digest under the ambient `CUBIE_PREP_*` env
+/// (consumed by [`prep::table4_matrices`]) at jobs {1, 2, 8}, asserting
+/// one digest across worker counts, and prints it on stderr for the
+/// parent. With the cache on and a shared directory, the first
+/// iteration runs cold (records) and later ones warm (mmap hits), so a
+/// single probe already crosses the cold/warm boundary.
+#[test]
+#[ignore = "prep cube probe: run in a CUBIE_SIMD/CUBIE_PREP_* subprocess by the cube test"]
+fn prep_cube_probe() {
+    let mut digests = Vec::new();
+    for jobs in PROBE_JOBS {
+        let prev = cubie::core::par::set_max_workers(jobs);
+        let matrices = prep::table4_matrices(SPARSE_SCALE);
+        let graphs = prep::table3_graphs(GRAPH_SCALE);
+        digests.push((jobs, table_digest(&matrices, &graphs)));
+        cubie::core::par::set_max_workers(prev);
+    }
+    let (_, reference) = digests[0];
+    for (jobs, d) in &digests {
+        assert_eq!(
+            *d,
+            reference,
+            "digest diverged at jobs {jobs} under CUBIE_SIMD={:?} CUBIE_PREP_CACHE={:?}",
+            std::env::var("CUBIE_SIMD"),
+            std::env::var("CUBIE_PREP_CACHE")
+        );
+    }
+    eprintln!("prep cube digest: {reference:#018x}");
+}
+
+fn run_probe(probe: &str, envs: &[(&str, &str)]) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = std::process::Command::new(&exe);
+    cmd.args([
+        "--exact",
+        probe,
+        "--include-ignored",
+        "--test-threads",
+        "1",
+        "--nocapture",
+    ]);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn probe subprocess");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        out.status.success(),
+        "probe failed under {envs:?}:\n{stderr}"
+    );
+    stderr
+        .lines()
+        .find(|l| l.contains("digest: "))
+        .unwrap_or_else(|| panic!("no digest line under {envs:?}:\n{stderr}"))
+        .split("digest: ")
+        .nth(1)
+        .unwrap()
+        .to_string()
+}
+
+/// Cache off × cache on (cold then warm, one store shared across SIMD
+/// paths) × every forced `CUBIE_SIMD` path × jobs {1, 2, 8}: one
+/// digest. A snapshot recorded under the scalar path must serve the
+/// vector paths bit-identically, and vice versa.
+#[test]
+fn prep_cache_is_bit_identical_across_forced_simd_paths_and_jobs() {
+    let store = TempStore::new("simd_cube");
+    let dir = store.0.to_string_lossy().to_string();
+    let mut digests = Vec::new();
+    for path in cubie::core::simd::supported_paths() {
+        for cache in ["off", "on"] {
+            let d = run_probe(
+                "prep_cube_probe",
+                &[
+                    ("CUBIE_SIMD", path.label()),
+                    ("CUBIE_PREP_CACHE", cache),
+                    ("CUBIE_PREP_DIR", dir.as_str()),
+                ],
+            );
+            digests.push((path.label(), cache, d));
+        }
+    }
+    let (_, _, reference) = digests[0].clone();
+    for (path, cache, d) in &digests {
+        assert_eq!(
+            d, &reference,
+            "prep digest diverged at CUBIE_SIMD={path} CUBIE_PREP_CACHE={cache}"
+        );
+    }
+    assert_eq!(tmp_leftovers(&store.0), 0, "cube left .tmp files behind");
+}
+
+/// Two processes racing the same cold store: both must succeed with the
+/// same digest (last rename wins with identical bytes), and the store
+/// must end clean — fully populated, no `.tmp` leftovers.
+#[test]
+fn racing_cold_processes_on_one_store_both_succeed() {
+    let store = TempStore::new("race");
+    let dir = store.0.to_string_lossy().to_string();
+    let exe = std::env::current_exe().expect("test binary path");
+    let spawn = || {
+        std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "prep_cube_probe",
+                "--include-ignored",
+                "--test-threads",
+                "1",
+                "--nocapture",
+            ])
+            .env("CUBIE_PREP_CACHE", "on")
+            .env("CUBIE_PREP_DIR", &dir)
+            .stderr(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn racing probe")
+    };
+    let a = spawn();
+    let b = spawn();
+    let outs = [a.wait_with_output().unwrap(), b.wait_with_output().unwrap()];
+    let mut digests = Vec::new();
+    for out in &outs {
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(out.status.success(), "racing probe failed:\n{stderr}");
+        digests.push(
+            stderr
+                .lines()
+                .find(|l| l.contains("digest: "))
+                .expect("digest line")
+                .to_string(),
+        );
+    }
+    assert_eq!(digests[0], digests[1], "racing processes disagreed");
+    assert_eq!(store.snapshot_files().len(), 10, "store fully populated");
+    assert_eq!(tmp_leftovers(&store.0), 0, "race left .tmp files behind");
+}

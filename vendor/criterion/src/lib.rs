@@ -161,6 +161,13 @@ fn record_result(label: &str, ns_per_iter: f64, samples: usize) {
         ));
     }
     doc.push_str("\n  ]\n}\n");
+    // Bench binaries run with CWD = their package dir, where a relative
+    // `results/…` destination usually doesn't exist yet — create it.
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
     if let Err(e) = std::fs::write(&path, doc) {
         eprintln!("warning: could not write CUBIE_CRITERION_JSON={path}: {e}");
     }
